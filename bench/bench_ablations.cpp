@@ -1,0 +1,167 @@
+// Ablation studies of Algorithm 4's design choices (the DESIGN.md index):
+//   A1  spanning-tree construction: DFS (the paper) vs BFS (the alternative
+//       the paper notes) -- rounds unchanged, slide distances shorter;
+//   A2  paths served per round: the paper's count(root)-1 vs a cap of 1 --
+//       still O(k) by Lemma 7, measurably slower on bushy configurations;
+//   A3  planner execution: faithful per-robot recomputation vs shared
+//       exact memoization -- byte-identical outcomes, less simulator work;
+//   A4  scheduler: synchronous (the paper) vs semi-synchronous random
+//       activation (future-work direction) -- rounds scale ~1/p.
+#include <cstdio>
+
+#include "core/dispersion.h"
+#include "dynamic/random_adversary.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dyndisp;
+using core::PlannerConfig;
+
+constexpr std::size_t kTrials = 10;
+
+struct Cell {
+  Summary rounds;
+  Summary moves;
+  std::size_t dispersed = 0;
+};
+
+Cell sweep(std::size_t n, std::size_t k, const AlgorithmFactory& factory,
+           EngineOptions opt, std::uint64_t salt) {
+  Cell cell;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+    RandomAdversary adv(n, n / 3, seed * 3 + salt);
+    Rng rng(seed + salt);
+    Engine engine(adv, placement::grouped(n, k, 3, rng), factory, opt);
+    const RunResult r = engine.run();
+    if (r.dispersed) ++cell.dispersed;
+    cell.rounds.add(static_cast<double>(r.rounds));
+    cell.moves.add(static_cast<double>(r.total_moves));
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 48, k = 32;
+  EngineOptions opt;
+  opt.max_rounds = 100 * k;
+  std::printf("== Ablations of Algorithm 4's design choices "
+              "(n=%zu, k=%zu, 3-group start, %zu seeds) ==\n\n",
+              n, k, kTrials);
+
+  bool ok = true;
+
+  {
+    AsciiTable t({"variant", "mean rounds", "max rounds", "mean moves",
+                  "dispersed"});
+    t.set_title("A1+A2: spanning-tree construction x paths served per round");
+    struct V {
+      const char* name;
+      PlannerConfig config;
+    };
+    const V variants[] = {
+        {"DFS tree, count(root)-1 paths  [the paper]", {}},
+        {"BFS tree, count(root)-1 paths", {PlannerConfig::Tree::kBfs, 0}},
+        {"DFS tree, 1 path/round", {PlannerConfig::Tree::kDfs, 1}},
+        {"BFS tree, 1 path/round", {PlannerConfig::Tree::kBfs, 1}},
+    };
+    double paper_moves = 0, capped_rounds = 0, paper_rounds = 0;
+    for (const V& v : variants) {
+      const Cell c = sweep(n, k, core::dispersion_factory_with_config(v.config),
+                           opt, 11);
+      ok &= c.dispersed == kTrials && c.rounds.max() <= static_cast<double>(k);
+      t.add_row({v.name, fmt_double(c.rounds.mean(), 1),
+                 fmt_double(c.rounds.max(), 0), fmt_double(c.moves.mean(), 1),
+                 std::to_string(c.dispersed) + "/" + std::to_string(kTrials)});
+      if (std::string(v.name).find("[the paper]") != std::string::npos) {
+        paper_moves = c.moves.mean();
+        paper_rounds = c.rounds.mean();
+      }
+      if (std::string(v.name) == "DFS tree, 1 path/round")
+        capped_rounds = c.rounds.mean();
+    }
+    ok &= paper_rounds <= capped_rounds;  // multi-path at least as fast
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("multi-path sliding is the round-count lever; all variants "
+                "stay within the k-round bound (Lemma 7 is variant-proof).\n\n");
+    (void)paper_moves;
+  }
+
+  {
+    AsciiTable t({"planner mode", "mean rounds", "mean moves", "dispersed"});
+    t.set_title("A3: faithful per-robot planning vs shared memoization "
+                "(identical results, k-times less simulator work)");
+    const Cell faithful =
+        sweep(n, k, core::dispersion_factory(), opt, 23);
+    const Cell memo =
+        sweep(n, k, core::dispersion_factory_memoized(), opt, 23);
+    ok &= faithful.rounds.mean() == memo.rounds.mean() &&
+          faithful.moves.mean() == memo.moves.mean();
+    t.add_row({"faithful (each robot recomputes)",
+               fmt_double(faithful.rounds.mean(), 1),
+               fmt_double(faithful.moves.mean(), 1),
+               std::to_string(faithful.dispersed) + "/" +
+                   std::to_string(kTrials)});
+    t.add_row({"memoized (one plan per packet set)",
+               fmt_double(memo.rounds.mean(), 1),
+               fmt_double(memo.moves.mean(), 1),
+               std::to_string(memo.dispersed) + "/" +
+                   std::to_string(kTrials)});
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  {
+    AsciiTable t({"activation p", "mean rounds", "max rounds", "rounds x p",
+                  "dispersed"});
+    t.set_title("A4: semi-synchronous random activation (future work)");
+    for (const double p : {1.0, 0.8, 0.5, 0.3, 0.15}) {
+      EngineOptions semi = opt;
+      if (p < 1.0) {
+        semi.activation = Activation::kRandomSubset;
+        semi.activation_probability = p;
+        semi.activation_seed = 5;
+      }
+      const Cell c = sweep(n, k, core::dispersion_factory_memoized(), semi, 31);
+      ok &= c.dispersed == kTrials;
+      t.add_row({fmt_double(p, 2), fmt_double(c.rounds.mean(), 1),
+                 fmt_double(c.rounds.max(), 0),
+                 fmt_double(c.rounds.mean() * p, 1),
+                 std::to_string(c.dispersed) + "/" + std::to_string(kTrials)});
+    }
+    std::size_t rr_dispersed = 0;
+    {
+      // Sequential extreme: one robot per round (effective p = 1/k). NOT
+      // gated: sequential activation can livelock Algorithm 4 (partial
+      // slides keep un-doing each other), which is reported, not hidden.
+      EngineOptions seq = opt;
+      seq.activation = Activation::kRoundRobin;
+      seq.max_rounds = 1000 * k;
+      const Cell c = sweep(n, k, core::dispersion_factory_memoized(), seq, 31);
+      rr_dispersed = c.dispersed;
+      t.add_row({"1/k (round-robin)", fmt_double(c.rounds.mean(), 1),
+                 fmt_double(c.rounds.max(), 0), "-",
+                 std::to_string(c.dispersed) + "/" + std::to_string(kTrials)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("rounds grow SUPER-linearly in 1/p (rounds*p is not flat): a "
+                "slide makes clean progress only when an entire root path's "
+                "movers are simultaneously awake, and partial slides can "
+                "transiently vacate nodes. Random partial activation still "
+                "dispersed on every seed, but the sequential extreme "
+                "dispersed on only %zu/%zu seeds within 1000k rounds -- "
+                "Algorithm 4's guarantee is genuinely synchronous, matching "
+                "the paper's framing of semi-/asynchrony as open.\n",
+                rr_dispersed, kTrials);
+  }
+
+  std::printf("\n%s\n", ok ? "All ablations consistent with the analysis."
+                           : "MISMATCH in an ablation!");
+  return ok ? 0 : 1;
+}

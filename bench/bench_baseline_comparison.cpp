@@ -1,0 +1,138 @@
+// Baseline contrast (the paper's Section I motivation): static-graph
+// dispersion algorithms vs Algorithm 4, on static AND dynamic inputs.
+// The headline shape reproduced: on static graphs the DFS baseline is fine
+// (it was designed there) but needs O(m) rounds where Algorithm 4 needs
+// O(k); under adversarial dynamics every baseline stalls or blows its
+// budget while Algorithm 4 stays exactly linear in k.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/dfs_dispersion.h"
+#include "baselines/greedy_local.h"
+#include "baselines/random_walk.h"
+#include "core/dispersion.h"
+#include "dynamic/random_adversary.h"
+#include "dynamic/star_star_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dyndisp;
+
+struct Cell {
+  Summary rounds;
+  std::size_t dispersed = 0;
+  std::size_t trials = 0;
+};
+
+enum class Scenario { kStaticRandom, kDynamicRandom, kStarStar };
+
+std::unique_ptr<Adversary> make_adversary(Scenario s, std::size_t n,
+                                          std::uint64_t seed) {
+  switch (s) {
+    case Scenario::kStaticRandom: {
+      Rng rng(seed);
+      return std::make_unique<StaticAdversary>(
+          builders::random_connected(n, n / 2, rng));
+    }
+    case Scenario::kDynamicRandom:
+      return std::make_unique<RandomAdversary>(n, n / 2, seed);
+    case Scenario::kStarStar:
+      return std::make_unique<StarStarAdversary>(n, true, seed);
+  }
+  return nullptr;
+}
+
+Cell run_cell(Scenario s, const AlgorithmFactory& factory, bool needs_global,
+              bool needs_knowledge, std::size_t n, std::size_t k,
+              Round horizon) {
+  Cell cell;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto adv = make_adversary(s, n, seed);
+    EngineOptions opt;
+    opt.comm = needs_global ? CommModel::kGlobal : CommModel::kLocal;
+    opt.neighborhood_knowledge = needs_knowledge;
+    opt.allow_model_mismatch = true;
+    opt.max_rounds = horizon;
+    Engine engine(*adv, placement::rooted(n, k), factory, opt);
+    const RunResult r = engine.run();
+    ++cell.trials;
+    if (r.dispersed) ++cell.dispersed;
+    cell.rounds.add(static_cast<double>(r.rounds));
+  }
+  return cell;
+}
+
+std::string fmt_cell(const Cell& c, Round horizon) {
+  if (c.dispersed == 0) return "stall (>" + std::to_string(horizon) + ")";
+  std::string s = fmt_double(c.rounds.mean(), 1) + " rounds";
+  if (c.dispersed < c.trials)
+    s += " (" + std::to_string(c.dispersed) + "/" +
+         std::to_string(c.trials) + " ok)";
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t k = 24, n = 36;
+  const Round horizon = 100 * k;
+  std::printf("== Baselines vs Algorithm 4 (k=%zu, n=%zu, rooted start, "
+              "mean over 5 seeds, horizon %llu) ==\n\n",
+              k, n, static_cast<unsigned long long>(horizon));
+
+  struct Algo {
+    const char* name;
+    AlgorithmFactory factory;
+    bool global, knowledge;
+  };
+  const Algo algos[] = {
+      {"Dispersion_Dynamic(Alg4)", core::dispersion_factory_memoized(), true,
+       true},
+      {"DFS-dispersion(static design)", baselines::dfs_dispersion_factory(),
+       false, false},
+      {"greedy(local+1-nbhd)", baselines::greedy_local_factory(), false, true},
+      {"random-walk", baselines::random_walk_factory(99), false, false},
+  };
+
+  AsciiTable table({"algorithm", "static random graph", "dynamic random",
+                    "star-star adversary"});
+  bool ok = true;
+  double alg4_star = 0, alg4_static = 0;
+  for (const Algo& a : algos) {
+    const Cell st = run_cell(Scenario::kStaticRandom, a.factory, a.global,
+                             a.knowledge, n, k, horizon);
+    const Cell dyn = run_cell(Scenario::kDynamicRandom, a.factory, a.global,
+                              a.knowledge, n, k, horizon);
+    const Cell star = run_cell(Scenario::kStarStar, a.factory, a.global,
+                               a.knowledge, n, k, horizon);
+    table.add_row({a.name, fmt_cell(st, horizon), fmt_cell(dyn, horizon),
+                   fmt_cell(star, horizon)});
+    if (std::string(a.name) == "Dispersion_Dynamic(Alg4)") {
+      // The paper's claims: k-1 rounds everywhere, all seeds.
+      ok &= st.dispersed == st.trials && dyn.dispersed == dyn.trials &&
+            star.dispersed == star.trials;
+      ok &= star.rounds.max() <= static_cast<double>(k);
+      alg4_star = star.rounds.mean();
+      alg4_static = st.rounds.mean();
+    } else if (std::string(a.name).rfind("DFS", 0) == 0) {
+      // Shape: fine on static, dead under the adversarial dynamics.
+      ok &= st.dispersed == st.trials;
+      ok &= star.dispersed == 0;
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nAlg4 mean rounds: static %.1f, adversarial dynamic %.1f "
+              "(both <= k-1 = %zu: dynamics are free for Algorithm 4).\n",
+              alg4_static, alg4_star, k - 1);
+  std::printf("%s\n", ok ? "Shape matches the paper: only Algorithm 4 "
+                           "survives adversarial dynamics."
+                         : "MISMATCH in the baseline comparison!");
+  return ok ? 0 : 1;
+}

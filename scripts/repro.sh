@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# One-command reproduction: configure, build, run the full test suite, and
+# regenerate every table/figure, recording the outputs at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && case "$(basename "$b")" in bench_*) ;; *) continue;; esac || continue
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,30 @@
+#include "analysis/experiment.h"
+
+namespace dyndisp::analysis {
+
+RunResult run_trial(const TrialSpec& spec, std::uint64_t seed) {
+  auto adversary = spec.adversary(seed);
+  Configuration initial = spec.placement(seed);
+  FaultSchedule faults =
+      spec.faults ? spec.faults(seed) : FaultSchedule::none();
+  Engine engine(*adversary, std::move(initial), spec.algorithm, spec.options,
+                std::move(faults));
+  return engine.run();
+}
+
+SweepSummary run_sweep(const TrialSpec& spec, std::size_t trials,
+                       std::uint64_t base_seed) {
+  SweepSummary summary;
+  summary.trials = trials;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const RunResult result = run_trial(spec, base_seed + i);
+    summary.rounds.add(static_cast<double>(result.rounds));
+    summary.moves.add(static_cast<double>(result.total_moves));
+    summary.memory_bits.add(static_cast<double>(result.max_memory_bits));
+    summary.max_occupied.add(static_cast<double>(result.max_occupied));
+    if (result.dispersed) ++summary.dispersed_count;
+  }
+  return summary;
+}
+
+}  // namespace dyndisp::analysis

@@ -1,0 +1,45 @@
+// Experiment harness: run one (adversary, placement, algorithm) tuple, or a
+// seed sweep of them, collecting the summary statistics the benches print.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "robots/configuration.h"
+#include "sim/algorithm.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+#include "util/stats.h"
+
+namespace dyndisp::analysis {
+
+/// One fully-specified trial. Fresh adversary/placement/faults are created
+/// per trial so that seed sweeps are independent.
+struct TrialSpec {
+  std::function<std::unique_ptr<Adversary>(std::uint64_t seed)> adversary;
+  std::function<Configuration(std::uint64_t seed)> placement;
+  AlgorithmFactory algorithm;
+  std::function<FaultSchedule(std::uint64_t seed)> faults;  // optional
+  EngineOptions options;
+};
+
+/// Runs a single trial with the given seed.
+RunResult run_trial(const TrialSpec& spec, std::uint64_t seed);
+
+/// Aggregates over `trials` seeds (seed = base_seed + i).
+struct SweepSummary {
+  Summary rounds;
+  Summary moves;
+  Summary memory_bits;
+  Summary max_occupied;
+  std::size_t dispersed_count = 0;
+  std::size_t trials = 0;
+};
+SweepSummary run_sweep(const TrialSpec& spec, std::size_t trials,
+                       std::uint64_t base_seed = 1);
+
+}  // namespace dyndisp::analysis

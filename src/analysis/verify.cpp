@@ -1,0 +1,79 @@
+#include "analysis/verify.h"
+
+#include <sstream>
+
+#include "util/bits.h"
+
+namespace dyndisp::analysis {
+
+std::string check_progress_every_round(const RunResult& result) {
+  if (result.occupied_per_round.empty())
+    return "run was not recorded with record_progress";
+  const auto& occ = result.occupied_per_round;
+  for (std::size_t i = 0; i + 1 < occ.size(); ++i) {
+    if (occ[i] < result.k && occ[i + 1] < occ[i] + 1) {
+      std::ostringstream os;
+      os << "no progress in round " << i << ": occupied " << occ[i] << " -> "
+         << occ[i + 1] << " (k=" << result.k << ")";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string check_occupied_monotone(const RunResult& result) {
+  if (result.occupied_per_round.empty())
+    return "run was not recorded with record_progress";
+  const auto& occ = result.occupied_per_round;
+  for (std::size_t i = 0; i + 1 < occ.size(); ++i) {
+    if (occ[i + 1] < occ[i]) {
+      std::ostringstream os;
+      os << "occupied count dropped in round " << i << ": " << occ[i] << " -> "
+         << occ[i + 1];
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string check_round_bound(const RunResult& result) {
+  if (!result.dispersed) return "run did not disperse";
+  const std::size_t bound = result.k - result.initial_occupied + 1;
+  if (result.rounds > bound) {
+    std::ostringstream os;
+    os << "dispersion took " << result.rounds << " rounds, bound is " << bound
+       << " (k=" << result.k << ", initially occupied "
+       << result.initial_occupied << ")";
+    return os.str();
+  }
+  return {};
+}
+
+std::string check_memory_bound(const RunResult& result, std::size_t slack) {
+  const std::size_t bound =
+      bit_width_for(static_cast<std::uint64_t>(result.k) + 1) + slack;
+  if (result.max_memory_bits > bound) {
+    std::ostringstream os;
+    os << "robot memory peaked at " << result.max_memory_bits
+       << " bits, bound is " << bound << " (k=" << result.k << ")";
+    return os.str();
+  }
+  return {};
+}
+
+std::string check_faulty_round_bound(const RunResult& result,
+                                     std::size_t slack) {
+  if (!result.dispersed) return "run did not disperse";
+  if (!result.final_config.is_dispersed())
+    return "final configuration has a multiplicity node";
+  const std::size_t bound = result.k - result.crashed + slack;
+  if (result.rounds > bound) {
+    std::ostringstream os;
+    os << "faulty dispersion took " << result.rounds << " rounds, bound is "
+       << bound << " (k=" << result.k << ", f=" << result.crashed << ")";
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace dyndisp::analysis

@@ -1,0 +1,28 @@
+#include "baselines/blind_walk.h"
+
+#include "util/bits.h"
+
+namespace dyndisp::baselines {
+
+Port BlindWalkRobot::step(const RobotView& view) {
+  if (view.colocated.front() == id_) return kInvalidPort;  // settler stays
+  if (view.degree == 0) return kInvalidPort;
+  // Knuth-style multiplicative hash over (id, round): a deterministic but
+  // round-varying port schedule.
+  const std::uint64_t h =
+      (static_cast<std::uint64_t>(id_) * 0x9E3779B97F4A7C15ULL) ^
+      (view.round * 0xC2B2AE3D27D4EB4FULL);
+  return static_cast<Port>(h % view.degree + 1);
+}
+
+void BlindWalkRobot::serialize(BitWriter& out) const {
+  out.write(id_, bit_width_for(static_cast<std::uint64_t>(k_) + 1));
+}
+
+AlgorithmFactory blind_walk_factory() {
+  return [](RobotId id, std::size_t k) {
+    return std::make_unique<BlindWalkRobot>(id, k);
+  };
+}
+
+}  // namespace dyndisp::baselines

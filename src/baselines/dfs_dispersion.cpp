@@ -1,0 +1,153 @@
+#include "baselines/dfs_dispersion.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace dyndisp::baselines {
+namespace {
+
+constexpr unsigned kPortBits = 16;
+
+}  // namespace
+
+DfsDispersionRobot::DfsDispersionRobot(RobotId id, std::size_t k)
+    : id_(id), k_(k) {}
+
+std::unique_ptr<RobotAlgorithm> DfsDispersionRobot::clone() const {
+  return std::make_unique<DfsDispersionRobot>(*this);
+}
+
+void DfsDispersionRobot::serialize(BitWriter& out) const {
+  out.write(id_, bit_width_for(static_cast<std::uint64_t>(k_) + 1));
+  out.write_bool(settled_);
+  out.write_bool(backtracking_);
+  out.write(parent_port_, kPortBits);
+  out.write(last_tried_, kPortBits);
+}
+
+DfsDispersionRobot::PeerState DfsDispersionRobot::decode(
+    const std::vector<std::uint8_t>& bytes, std::size_t /*bit_count_hint*/,
+    std::size_t k) {
+  BitReader r(bytes);
+  PeerState s;
+  s.id = static_cast<RobotId>(
+      r.read(bit_width_for(static_cast<std::uint64_t>(k) + 1)));
+  s.settled = r.read_bool();
+  s.backtracking = r.read_bool();
+  s.parent_port = static_cast<Port>(r.read(kPortBits));
+  s.last_tried = static_cast<Port>(r.read(kPortBits));
+  return s;
+}
+
+Port DfsDispersionRobot::step(const RobotView& view) {
+  // On dynamic graphs stored ports can refer to edges that no longer exist
+  // (the algorithm is a static-graph design); wrap any stale port onto the
+  // current port range instead of aborting. This is part of the observed
+  // failure mode, not a fix for it.
+  const auto clamp = [&view](Port p) -> Port {
+    if (p == kInvalidPort || view.degree == 0) return kInvalidPort;
+    return p <= view.degree
+               ? p
+               : static_cast<Port>((p - 1) % view.degree + 1);
+  };
+
+  // Decode the co-located robots' start-of-round states.
+  std::vector<PeerState> peers;
+  peers.reserve(view.colocated.size());
+  for (std::size_t i = 0; i < view.colocated.size(); ++i) {
+    PeerState s = decode(view.colocated_states[i], 0, view.k);
+    s.id = view.colocated[i];  // authoritative ID from the view
+    peers.push_back(s);
+  }
+
+  const PeerState* settled_here = nullptr;
+  RobotId smallest_unsettled = kNoRobot;
+  bool any_backtracker = false;
+  for (const PeerState& s : peers) {
+    if (s.settled) {
+      settled_here = &s;
+    } else {
+      if (smallest_unsettled == kNoRobot || s.id < smallest_unsettled)
+        smallest_unsettled = s.id;
+      if (s.backtracking) any_backtracker = true;
+    }
+  }
+
+  if (settled_) {
+    // A settled robot is this node's marker. It never moves, but it mirrors
+    // the group's deterministic decision to keep its rotor current: a
+    // backtracking group advances the rotor to the next untried port.
+    if (any_backtracker) {
+      for (Port p = last_tried_ + 1; p <= view.degree; ++p) {
+        if (p != parent_port_) {
+          last_tried_ = p;
+          break;
+        }
+      }
+    }
+    return kInvalidPort;
+  }
+
+  // --- Unsettled robot ---
+  if (settled_here == nullptr) {
+    // Fresh (never-settled) node: the smallest unsettled robot settles.
+    const Port group_arrival = view.arrival_port;
+    if (id_ == smallest_unsettled) {
+      settled_ = true;
+      parent_port_ = group_arrival;
+      // Record the port the remaining group departs through (if any).
+      last_tried_ = kInvalidPort;
+      for (Port p = 1; p <= view.degree; ++p) {
+        if (p != group_arrival) {
+          last_tried_ = p;
+          break;
+        }
+      }
+      if (last_tried_ == kInvalidPort)
+        last_tried_ = static_cast<Port>(view.degree);  // rotor exhausted
+      return kInvalidPort;
+    }
+    // The rest of the group explores the smallest non-parent port, or
+    // backtracks when the fresh node is a dead end.
+    for (Port p = 1; p <= view.degree; ++p) {
+      if (p != group_arrival) {
+        backtracking_ = false;
+        return p;
+      }
+    }
+    if (group_arrival != kInvalidPort) {
+      backtracking_ = true;
+      return clamp(group_arrival);
+    }
+    return kInvalidPort;  // isolated node: nowhere to go this round
+  }
+
+  // Node already settled.
+  if (!backtracking_ && view.arrival_port != kInvalidPort) {
+    // Forward arrival at a visited node: bounce back where we came from.
+    backtracking_ = true;
+    return clamp(view.arrival_port);
+  }
+  // Backtracking (or stationary start on a settled node): take the next
+  // untried child port from the marker's rotor, else climb to the parent.
+  for (Port p = settled_here->last_tried + 1; p <= view.degree; ++p) {
+    if (p != settled_here->parent_port) {
+      backtracking_ = false;
+      return p;
+    }
+  }
+  if (settled_here->parent_port != kInvalidPort) {
+    backtracking_ = true;
+    return clamp(settled_here->parent_port);
+  }
+  return kInvalidPort;  // exhausted root: wait (cannot happen while k <= n)
+}
+
+AlgorithmFactory dfs_dispersion_factory() {
+  return [](RobotId id, std::size_t k) {
+    return std::make_unique<DfsDispersionRobot>(id, k);
+  };
+}
+
+}  // namespace dyndisp::baselines

@@ -1,0 +1,48 @@
+#include "baselines/greedy_local.h"
+
+#include "util/bits.h"
+
+namespace dyndisp::baselines {
+
+Port GreedyLocalRobot::step(const RobotView& view) {
+  // The smallest-ID robot on a node is its settler and never moves.
+  if (view.colocated.front() == id_) return kInvalidPort;
+
+  // Surplus robot. Preferred: a visibly empty neighbor (smallest port).
+  if (!view.empty_ports.empty()) {
+    // Spread surplus robots over distinct empty ports: the j-th surplus
+    // robot (by ID rank on this node) takes the j-th empty port.
+    std::size_t rank = 0;
+    for (const RobotId peer : view.colocated) {
+      if (peer == id_) break;
+      ++rank;
+    }
+    // rank >= 1 (smallest stays); surplus ranks start at 1.
+    const std::size_t idx = (rank - 1) % view.empty_ports.size();
+    return view.empty_ports[idx];
+  }
+
+  // Otherwise move toward a strictly less-crowded occupied neighbor.
+  const std::size_t here = view.node_count;
+  Port best = kInvalidPort;
+  std::size_t best_count = here - 1;  // require neighbor count < here - 1
+  for (const NeighborInfo& nb : view.occupied_neighbors) {
+    if (nb.count < best_count) {
+      best_count = nb.count;
+      best = nb.port;
+    }
+  }
+  return best;
+}
+
+void GreedyLocalRobot::serialize(BitWriter& out) const {
+  out.write(id_, bit_width_for(static_cast<std::uint64_t>(k_) + 1));
+}
+
+AlgorithmFactory greedy_local_factory() {
+  return [](RobotId id, std::size_t k) {
+    return std::make_unique<GreedyLocalRobot>(id, k);
+  };
+}
+
+}  // namespace dyndisp::baselines

@@ -1,0 +1,30 @@
+#include "baselines/random_walk.h"
+
+#include "util/bits.h"
+
+namespace dyndisp::baselines {
+
+RandomWalkRobot::RandomWalkRobot(RobotId id, std::size_t k, std::uint64_t seed)
+    : id_(id), k_(k), rng_(seed ^ (0x9E3779B97F4A7C15ULL * id)) {}
+
+Port RandomWalkRobot::step(const RobotView& view) {
+  if (view.colocated.front() == id_) return kInvalidPort;  // settler stays
+  if (view.degree == 0) return kInvalidPort;
+  return static_cast<Port>(rng_.below(view.degree) + 1);
+}
+
+void RandomWalkRobot::serialize(BitWriter& out) const {
+  out.write(id_, bit_width_for(static_cast<std::uint64_t>(k_) + 1));
+  // The walker's PRNG state is carried between rounds: 256 bits. Serialized
+  // by value so the meter counts it (and clones replay identically).
+  Rng copy = rng_;
+  for (int i = 0; i < 4; ++i) out.write(copy.next_u64(), 64);
+}
+
+AlgorithmFactory random_walk_factory(std::uint64_t seed) {
+  return [seed](RobotId id, std::size_t k) {
+    return std::make_unique<RandomWalkRobot>(id, k, seed);
+  };
+}
+
+}  // namespace dyndisp::baselines

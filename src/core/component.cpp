@@ -1,0 +1,112 @@
+#include "core/component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace dyndisp::core {
+
+const ComponentNode* ComponentGraph::find(RobotId name) const {
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), name,
+      [](const ComponentNode& n, RobotId x) { return n.name < x; });
+  return (it != nodes_.end() && it->name == name) ? &*it : nullptr;
+}
+
+std::size_t ComponentGraph::robot_count() const {
+  std::size_t total = 0;
+  for (const ComponentNode& n : nodes_) total += n.count;
+  return total;
+}
+
+bool ComponentGraph::has_multiplicity() const {
+  return std::any_of(nodes_.begin(), nodes_.end(),
+                     [](const ComponentNode& n) { return n.count > 1; });
+}
+
+RobotId ComponentGraph::root_name() const {
+  for (const ComponentNode& n : nodes_)  // ascending by name
+    if (n.count > 1) return n.name;
+  return kNoRobot;
+}
+
+void ComponentGraph::add_node(ComponentNode node) {
+  nodes_.push_back(std::move(node));
+}
+
+void ComponentGraph::seal() {
+  std::sort(nodes_.begin(), nodes_.end(),
+            [](const ComponentNode& a, const ComponentNode& b) {
+              return a.name < b.name;
+            });
+}
+
+namespace {
+
+ComponentNode node_from_packet(const InfoPacket& pkt) {
+  ComponentNode node;
+  node.name = pkt.sender;
+  node.count = pkt.count;
+  node.degree = pkt.degree;
+  node.robots = pkt.robots;
+  for (const NeighborInfo& nb : pkt.occupied_neighbors)
+    node.edges.emplace_back(nb.port, nb.min_robot);
+  // Packets list neighbors port-ascending already; keep the invariant
+  // explicit in case a caller hand-builds packets.
+  std::sort(node.edges.begin(), node.edges.end());
+  return node;
+}
+
+}  // namespace
+
+ComponentGraph build_component(const std::vector<InfoPacket>& packets,
+                               RobotId start_name) {
+  std::map<RobotId, const InfoPacket*> by_sender;
+  for (const InfoPacket& pkt : packets) by_sender.emplace(pkt.sender, &pkt);
+  assert(by_sender.count(start_name) && "start node must have a packet");
+
+  ComponentGraph cg;
+  // Algorithm 1's loop: repeatedly take the smallest-ID unprocessed node,
+  // add its occupied neighbors (with ports), until no reachable node is
+  // unprocessed. std::set gives the increasing-ID processing order.
+  //
+  // Under the paper's model every referenced neighbor has a packet; a
+  // reference without one can only come from a lying (Byzantine) packet,
+  // in which case the phantom node is skipped -- the honest part of the
+  // component is still built deterministically by every robot.
+  std::set<RobotId> to_process{start_name};
+  std::set<RobotId> processed;
+  while (!to_process.empty()) {
+    const RobotId name = *to_process.begin();
+    to_process.erase(to_process.begin());
+    processed.insert(name);
+    const auto it = by_sender.find(name);
+    if (it == by_sender.end()) continue;  // phantom reference: skip
+    ComponentNode node = node_from_packet(*it->second);
+    // Drop edges toward phantom names so the component stays closed.
+    std::erase_if(node.edges, [&](const std::pair<Port, RobotId>& edge) {
+      return !by_sender.count(edge.second);
+    });
+    for (const auto& [port, nb] : node.edges)
+      if (!processed.count(nb)) to_process.insert(nb);
+    cg.add_node(std::move(node));
+  }
+  cg.seal();
+  return cg;
+}
+
+std::vector<ComponentGraph> build_all_components(
+    const std::vector<InfoPacket>& packets) {
+  std::vector<ComponentGraph> components;
+  std::set<RobotId> seen;
+  for (const InfoPacket& pkt : packets) {
+    if (seen.count(pkt.sender)) continue;
+    ComponentGraph cg = build_component(packets, pkt.sender);
+    for (const ComponentNode& n : cg.nodes()) seen.insert(n.name);
+    components.push_back(std::move(cg));
+  }
+  return components;
+}
+
+}  // namespace dyndisp::core

@@ -1,0 +1,44 @@
+#include "core/disjoint_paths.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace dyndisp::core {
+
+std::vector<RobotId> leaf_node_set(const ComponentGraph& cg,
+                                   const SpanningTree& st) {
+  std::vector<RobotId> leaves;
+  for (const TreeNode& tn : st.nodes()) {  // ascending by name
+    const ComponentNode* cn = cg.find(tn.name);
+    assert(cn != nullptr);
+    if (cn->has_empty_neighbor()) leaves.push_back(tn.name);
+  }
+  return leaves;
+}
+
+bool paths_disjoint(const RootPath& a, const RootPath& b) {
+  assert(!a.empty() && !b.empty() && a.front() == b.front());
+  std::set<RobotId> nodes_a(a.begin() + 1, a.end());
+  return std::none_of(b.begin() + 1, b.end(), [&](RobotId name) {
+    return nodes_a.count(name) > 0;
+  });
+}
+
+std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
+                                     const SpanningTree& st) {
+  std::vector<RootPath> kept;
+  std::set<RobotId> used;  // non-root nodes already claimed by a path
+  for (const RobotId leaf : leaf_node_set(cg, st)) {
+    RootPath path = st.root_path(leaf);
+    const bool overlaps =
+        std::any_of(path.begin() + 1, path.end(),
+                    [&](RobotId name) { return used.count(name) > 0; });
+    if (overlaps) continue;
+    for (auto it = path.begin() + 1; it != path.end(); ++it) used.insert(*it);
+    kept.push_back(std::move(path));
+  }
+  return kept;
+}
+
+}  // namespace dyndisp::core

@@ -1,0 +1,42 @@
+// Algorithm 3: disjoint root-path computation (Section VI, Definition 5).
+//
+// LeafNodeSet(ST) holds the tree nodes with at least one EMPTY neighbor in
+// G_r. Going through it in increasing name order, the algorithm keeps each
+// node's unique tree path to the root iff the path shares no node (other
+// than the root itself, which every root path ends at) with a previously
+// kept path. Lemma 3 guarantees at least one kept path whenever the
+// component has a multiplicity node.
+//
+// Clarification over the pseudocode (see DESIGN.md #3): when the ROOT has an
+// empty neighbor it participates with its trivial zero-length path. From a
+// rooted configuration the component is a single multiplicity node and the
+// trivial path is the only way any robot can ever leave -- the paper's own
+// lower-bound instance (Theorem 3) exercises exactly this case.
+#pragma once
+
+#include <vector>
+
+#include "core/component.h"
+#include "core/spanning_tree.h"
+#include "util/types.h"
+
+namespace dyndisp::core {
+
+/// A root path stored root-first: {root, ..., leaf}. The trivial path of the
+/// root is {root} alone.
+using RootPath = std::vector<RobotId>;
+
+/// Names of tree nodes with at least one empty neighbor, ascending.
+std::vector<RobotId> leaf_node_set(const ComponentGraph& cg,
+                                   const SpanningTree& st);
+
+/// Algorithm 3: the disjoint path set, in the order the paths were kept
+/// (which is increasing by leaf name -- the order Algorithm 4's trimming
+/// step relies on).
+std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
+                                     const SpanningTree& st);
+
+/// True if `a` and `b` share no node other than the root (index 0).
+bool paths_disjoint(const RootPath& a, const RootPath& b);
+
+}  // namespace dyndisp::core

@@ -1,0 +1,107 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dyndisp::core {
+
+bool SlidePlan::operator==(const SlidePlan& other) const {
+  return movers == other.movers;
+}
+
+namespace {
+
+/// Port at tree node `from` leading to its child `to`.
+Port port_to_child(const SpanningTree& st, RobotId from, RobotId to) {
+  const TreeNode* tn = st.find(from);
+  assert(tn != nullptr);
+  for (const auto& [port, child] : tn->children)
+    if (child == to) return port;
+  assert(false && "successor on a root path must be a tree child");
+  return kInvalidPort;
+}
+
+}  // namespace
+
+SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
+                         const PlannerConfig& config) {
+  SlidePlan plan;
+  std::vector<RootPath> paths = disjoint_paths(cg, st);
+  // Lemma 3 guarantees a path under the paper's model; an empty set can
+  // only arise from lying (Byzantine) packets that hide empty neighbors.
+  // Degrade gracefully: nobody in this component moves this round.
+  if (paths.empty()) return plan;
+
+  const ComponentNode* root_cn = cg.find(st.root());
+  assert(root_cn != nullptr && root_cn->count >= 2);
+  const std::size_t count_root = root_cn->count;
+
+  // Algorithm 4's trimming: at most count(v_root) - 1 paths can be served,
+  // one robot each; paths are already ordered by increasing leaf name.
+  if (paths.size() >= count_root) paths.resize(count_root - 1);
+  if (config.max_paths > 0 && paths.size() > config.max_paths)
+    paths.resize(config.max_paths);
+
+  // Root movers: the smallest-ID robot at the root stays settled; the rest
+  // are assigned to the kept paths in ascending order.
+  assert(paths.size() <= count_root - 1);
+
+  for (std::size_t j = 0; j < paths.size(); ++j) {
+    const RootPath& path = paths[j];
+    const RobotId root_mover = root_cn->robots[j + 1];
+
+    if (path.size() == 1) {
+      // Trivial path: the root itself borders an empty node.
+      plan.movers[root_mover] = MoveDirective{kInvalidPort, true};
+      continue;
+    }
+    plan.movers[root_mover] =
+        MoveDirective{port_to_child(st, path[0], path[1]), false};
+
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const ComponentNode* cn = cg.find(path[i]);
+      assert(cn != nullptr);
+      // The designated mover at a non-root path node: its largest-ID robot
+      // (the smallest-ID robot stays settled; see DESIGN.md #4).
+      const RobotId mover = cn->robots.back();
+      if (i + 1 < path.size()) {
+        plan.movers[mover] =
+            MoveDirective{port_to_child(st, path[i], path[i + 1]), false};
+      } else {
+        plan.movers[mover] = MoveDirective{kInvalidPort, true};
+      }
+    }
+  }
+  return plan;
+}
+
+SlidePlan plan_round(const std::vector<InfoPacket>& packets,
+                     const PlannerConfig& config) {
+  SlidePlan plan;
+  for (const ComponentGraph& cg : build_all_components(packets)) {
+    if (!cg.has_multiplicity()) continue;
+    const SpanningTree st = config.tree == PlannerConfig::Tree::kBfs
+                                ? build_spanning_tree_bfs(cg)
+                                : build_spanning_tree(cg);
+    SlidePlan component_plan = plan_component(cg, st, config);
+    // Robot sets of distinct components are disjoint, so merging is a union.
+    plan.movers.merge(component_plan.movers);
+  }
+  return plan;
+}
+
+const SlidePlan& PlanCache::get(const std::vector<InfoPacket>& packets,
+                                const PlannerConfig& config) {
+  if (valid_ && key_ == packets && config_ == config) {
+    ++hits_;
+    return value_;
+  }
+  ++misses_;
+  key_ = packets;
+  config_ = config;
+  value_ = plan_round(packets, config);
+  valid_ = true;
+  return value_;
+}
+
+}  // namespace dyndisp::core

@@ -1,0 +1,101 @@
+// The per-round sliding plan of Algorithm 4 (Section VI).
+//
+// Given the round's packet set, the plan determines -- identically at every
+// robot, by Lemma 4 -- which robots slide along which disjoint root paths:
+//   * per kept path, one robot leaves the root toward the path's second
+//     node (or straight to an empty neighbor on the trivial root path);
+//   * at every interior path node one robot advances to the successor;
+//   * at the path's last node one robot exits to an empty neighbor via the
+//     smallest empty port (resolved locally by the robot standing there).
+// Everything is a pure function of the packets, which is what makes the
+// shared-plan memoization below safe: robots in one component compute
+// byte-identical plans, so computing the plan once per packet set and
+// sharing it is an exact optimization (tests compare both modes).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/component.h"
+#include "core/disjoint_paths.h"
+#include "core/spanning_tree.h"
+#include "sim/info_packet.h"
+#include "util/types.h"
+
+namespace dyndisp::core {
+
+/// What one designated mover robot does this round.
+struct MoveDirective {
+  /// Exit port; meaningful when exit_via_smallest_empty is false.
+  Port port = kInvalidPort;
+  /// Exit via the smallest port leading to an EMPTY neighbor (the last node
+  /// of a path, or the root's trivial path). The port is resolved by the
+  /// robot on the spot from its own 1-neighborhood view.
+  bool exit_via_smallest_empty = false;
+};
+
+/// Movers for one round: robot ID -> directive. Robots absent from the map
+/// stay put.
+struct SlidePlan {
+  std::map<RobotId, MoveDirective> movers;
+
+  bool operator==(const SlidePlan&) const;
+};
+
+/// Design knobs for ablation studies. The defaults are the paper's
+/// Algorithm 4; every variant preserves correctness (Lemmas 3-7 do not
+/// depend on the tree construction order or the number of served paths),
+/// only the constant factors change -- which is what the ablation bench
+/// measures.
+struct PlannerConfig {
+  enum class Tree { kDfs, kBfs };
+  /// Spanning-tree construction for Algorithm 2 (the paper uses DFS and
+  /// notes BFS works too; BFS minimizes root-path lengths).
+  Tree tree = Tree::kDfs;
+  /// Cap on the disjoint paths served per component per round (0 = only
+  /// bounded by count(root)-1, the paper's rule). max_paths = 1 is the
+  /// "serve one path per round" ablation: still O(k) rounds by Lemma 7,
+  /// but with a larger constant and more total rounds on bushy components.
+  std::size_t max_paths = 0;
+
+  bool operator==(const PlannerConfig&) const = default;
+};
+
+inline bool operator==(const MoveDirective& a, const MoveDirective& b) {
+  return a.port == b.port &&
+         a.exit_via_smallest_empty == b.exit_via_smallest_empty;
+}
+
+/// Plans the sliding for one component (requires a multiplicity node).
+SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
+                         const PlannerConfig& config = {});
+
+/// Plans the whole round: builds all components from the packets and merges
+/// the per-component plans (components without multiplicity contribute
+/// nothing).
+SlidePlan plan_round(const std::vector<InfoPacket>& packets,
+                     const PlannerConfig& config = {});
+
+/// Single-slot memo of plan_round keyed by the exact packet set. All robots
+/// of a run may share one cache; correctness is unchanged because
+/// plan_round is deterministic in the packets (Lemma 4).
+class PlanCache {
+ public:
+  const SlidePlan& get(const std::vector<InfoPacket>& packets,
+                       const PlannerConfig& config = {});
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::vector<InfoPacket> key_;
+  PlannerConfig config_;
+  SlidePlan value_;
+  bool valid_ = false;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace dyndisp::core

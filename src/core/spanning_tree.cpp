@@ -1,0 +1,153 @@
+#include "core/spanning_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+
+namespace dyndisp::core {
+
+const TreeNode* SpanningTree::find(RobotId name) const {
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), name,
+      [](const TreeNode& n, RobotId x) { return n.name < x; });
+  return (it != nodes_.end() && it->name == name) ? &*it : nullptr;
+}
+
+std::vector<RobotId> SpanningTree::root_path(RobotId name) const {
+  std::vector<RobotId> path;
+  const TreeNode* node = find(name);
+  assert(node != nullptr && "root_path of a node outside the tree");
+  while (true) {
+    path.push_back(node->name);
+    if (node->parent == kNoRobot) break;
+    node = find(node->parent);
+    assert(node != nullptr);
+  }
+  std::reverse(path.begin(), path.end());  // root first
+  return path;
+}
+
+void SpanningTree::add_node(TreeNode node) { nodes_.push_back(std::move(node)); }
+
+void SpanningTree::seal() {
+  std::sort(nodes_.begin(), nodes_.end(),
+            [](const TreeNode& a, const TreeNode& b) { return a.name < b.name; });
+}
+
+SpanningTree build_spanning_tree(const ComponentGraph& cg) {
+  const RobotId root = cg.root_name();
+  assert(root != kNoRobot &&
+         "spanning trees are built only for components with a multiplicity");
+
+  SpanningTree st;
+  st.set_root(root);
+
+  // Iterative DFS per the pseudocode: push the neighbors in decreasing port
+  // order so the smallest port is explored first; connect each node to the
+  // node from which it was (first) discovered.
+  struct PendingVisit {
+    RobotId name;
+    RobotId from;
+    Port port_at_from;  // port of `from` leading to `name`
+  };
+  std::vector<PendingVisit> stack;
+  std::map<RobotId, TreeNode> in_tree;
+
+  TreeNode root_node;
+  root_node.name = root;
+  root_node.depth = 0;
+  in_tree.emplace(root, root_node);
+
+  const ComponentNode* root_cn = cg.find(root);
+  assert(root_cn != nullptr);
+  for (auto it = root_cn->edges.rbegin(); it != root_cn->edges.rend(); ++it)
+    stack.push_back(PendingVisit{it->second, root, it->first});
+
+  while (!stack.empty()) {
+    const PendingVisit visit = stack.back();
+    stack.pop_back();
+    if (in_tree.count(visit.name)) continue;  // already explored
+
+    const ComponentNode* cn = cg.find(visit.name);
+    assert(cn != nullptr && "component edge points outside the component");
+
+    TreeNode node;
+    node.name = visit.name;
+    node.parent = visit.from;
+    node.port_from_parent = visit.port_at_from;
+    // The port at this node back to the parent: find the edge to `from`.
+    for (const auto& [port, nb] : cn->edges) {
+      if (nb == visit.from) {
+        node.port_to_parent = port;
+        break;
+      }
+    }
+    assert(node.port_to_parent != kInvalidPort);
+    node.depth = in_tree.at(visit.from).depth + 1;
+    in_tree.at(visit.from).children.emplace_back(visit.port_at_from,
+                                                 visit.name);
+    in_tree.emplace(visit.name, std::move(node));
+
+    for (auto it = cn->edges.rbegin(); it != cn->edges.rend(); ++it)
+      if (!in_tree.count(it->second))
+        stack.push_back(PendingVisit{it->second, visit.name, it->first});
+  }
+
+  assert(in_tree.size() == cg.size() &&
+         "spanning tree must cover the whole (connected) component");
+  for (auto& [name, node] : in_tree) st.add_node(std::move(node));
+  st.seal();
+  return st;
+}
+
+SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg) {
+  const RobotId root = cg.root_name();
+  assert(root != kNoRobot &&
+         "spanning trees are built only for components with a multiplicity");
+
+  SpanningTree st;
+  st.set_root(root);
+
+  std::map<RobotId, TreeNode> in_tree;
+  TreeNode root_node;
+  root_node.name = root;
+  root_node.depth = 0;
+  in_tree.emplace(root, root_node);
+
+  std::queue<RobotId> frontier;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const RobotId from = frontier.front();
+    frontier.pop();
+    const ComponentNode* cn = cg.find(from);
+    assert(cn != nullptr);
+    for (const auto& [port, nb] : cn->edges) {  // ascending by port
+      if (in_tree.count(nb)) continue;
+      const ComponentNode* nb_cn = cg.find(nb);
+      assert(nb_cn != nullptr);
+      TreeNode node;
+      node.name = nb;
+      node.parent = from;
+      node.port_from_parent = port;
+      for (const auto& [back_port, back_nb] : nb_cn->edges) {
+        if (back_nb == from) {
+          node.port_to_parent = back_port;
+          break;
+        }
+      }
+      assert(node.port_to_parent != kInvalidPort);
+      node.depth = in_tree.at(from).depth + 1;
+      in_tree.at(from).children.emplace_back(port, nb);
+      in_tree.emplace(nb, std::move(node));
+      frontier.push(nb);
+    }
+  }
+
+  assert(in_tree.size() == cg.size());
+  for (auto& [name, node] : in_tree) st.add_node(std::move(node));
+  st.seal();
+  return st;
+}
+
+}  // namespace dyndisp::core

@@ -1,0 +1,64 @@
+// Algorithm 2: component spanning tree (Section V, Definition 4).
+//
+// Given a connected component with a multiplicity node, the tree is rooted
+// at the smallest-name multiplicity node and grown by a deterministic DFS
+// that explores ports in increasing order (the pseudocode pushes neighbors
+// in DECREASING port order so the smallest port is popped first). Every
+// robot in the component computes the identical tree (Lemma 2) because the
+// construction is a deterministic function of the shared component graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/component.h"
+#include "util/types.h"
+
+namespace dyndisp::core {
+
+struct TreeNode {
+  RobotId name = kNoRobot;       ///< Node name (smallest robot ID on it).
+  RobotId parent = kNoRobot;     ///< Parent name; kNoRobot at the root.
+  Port port_to_parent = kInvalidPort;   ///< Port at this node toward parent.
+  Port port_from_parent = kInvalidPort; ///< Port at the parent toward here.
+  /// Children as (port at this node, child name), in DFS discovery order.
+  std::vector<std::pair<Port, RobotId>> children;
+  std::size_t depth = 0;         ///< Hops from the root.
+};
+
+class SpanningTree {
+ public:
+  RobotId root() const { return root_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Nodes ascending by name.
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Lookup by name; nullptr when absent.
+  const TreeNode* find(RobotId name) const;
+
+  /// The unique tree path from the root to `name`, inclusive:
+  /// RootPath_r(name) of Section VI (stored root-first).
+  std::vector<RobotId> root_path(RobotId name) const;
+
+  /// Used by the builder.
+  void set_root(RobotId root) { root_ = root; }
+  void add_node(TreeNode node);
+  void seal();
+
+ private:
+  RobotId root_ = kNoRobot;
+  std::vector<TreeNode> nodes_;  // ascending by name after seal()
+};
+
+/// Algorithm 2. Requires cg.has_multiplicity() (otherwise the component is
+/// already dispersed and no tree is built -- callers must check).
+SpanningTree build_spanning_tree(const ComponentGraph& cg);
+
+/// The BFS alternative the paper mentions ("a breadth-first search approach
+/// can also be used"): same root choice, level-order exploration taking
+/// smallest ports first. Produces trees of minimum depth, which shortens
+/// root paths (and hence per-round slide lengths) at identical asymptotics.
+SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg);
+
+}  // namespace dyndisp::core

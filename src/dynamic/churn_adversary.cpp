@@ -1,0 +1,53 @@
+#include "dynamic/churn_adversary.h"
+
+#include <cassert>
+#include <utility>
+
+#include "graph/algorithms.h"
+
+namespace dyndisp {
+
+ChurnAdversary::ChurnAdversary(Graph initial, std::size_t churn,
+                               std::uint64_t seed, bool reshuffle_ports)
+    : graph_(std::move(initial)),
+      churn_(churn),
+      rng_(seed),
+      reshuffle_ports_(reshuffle_ports) {
+  assert(is_connected(graph_));
+}
+
+Graph ChurnAdversary::next_graph(Round, const Configuration&) {
+  const std::size_t n = graph_.node_count();
+  std::size_t removed = 0;
+  // Remove up to churn_ edges, keeping connectivity (retry a few times per
+  // removal; bridges are skipped).
+  for (std::size_t i = 0; i < churn_; ++i) {
+    const auto edges = graph_.edges();
+    if (edges.empty()) break;
+    bool done = false;
+    for (std::size_t attempt = 0; attempt < 8 && !done; ++attempt) {
+      const auto& e = edges[rng_.below(edges.size())];
+      graph_.remove_edge(e.u, e.v);
+      if (is_connected(graph_)) {
+        done = true;
+        ++removed;
+      } else {
+        graph_.add_edge(e.u, e.v);  // was a bridge; retry another edge
+      }
+    }
+  }
+  // Add back the same number of fresh edges.
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < removed && attempts++ < 64 * (removed + 1)) {
+    const NodeId u = static_cast<NodeId>(rng_.below(n));
+    const NodeId v = static_cast<NodeId>(rng_.below(n));
+    if (u == v || graph_.has_edge(u, v)) continue;
+    graph_.add_edge(u, v);
+    ++added;
+  }
+  if (reshuffle_ports_) graph_.shuffle_ports(rng_);
+  return graph_;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,33 @@
+// Edge-churn adversary: evolves one graph gradually. Each round it removes
+// up to `churn` randomly chosen edges whose removal keeps the graph
+// connected, then adds the same number of random absent edges. This models
+// slowly changing topologies (as opposed to RandomAdversary's full rewires)
+// and exercises the algorithm's per-round reconstruction on inputs with
+// temporal locality.
+#pragma once
+
+#include <string>
+
+#include "dynamic/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+
+class ChurnAdversary final : public Adversary {
+ public:
+  /// `initial` must be connected; `churn` edges are replaced per round.
+  ChurnAdversary(Graph initial, std::size_t churn, std::uint64_t seed,
+                 bool reshuffle_ports = false);
+
+  std::string name() const override { return "edge-churn"; }
+  std::size_t node_count() const override { return graph_.node_count(); }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+ private:
+  Graph graph_;
+  std::size_t churn_;
+  Rng rng_;
+  bool reshuffle_ports_;
+};
+
+}  // namespace dyndisp

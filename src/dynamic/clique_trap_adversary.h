@@ -1,0 +1,54 @@
+// The Theorem 2 impossibility adversary (global communication, no
+// 1-neighborhood knowledge).
+//
+// Round construction, following the paper's proof: form the clique over the
+// alpha occupied nodes and a path H over the empty nodes. Because at most k
+// robots move and the clique has alpha(alpha-1)/2 > k edges, some clique
+// edge {u*, v*} is used by no planned move. Remove it and attach H with the
+// two replacement edges {u*, x} and {v*, y} instead, placing each
+// replacement at a port slot that no robot on u* / v* plans to use.
+//
+// Without 1-neighborhood knowledge, a robot's observable inputs (its memory,
+// co-located robots, global messages, and its node's degree -- uniformly
+// alpha-1 on occupied nodes) are identical across all these candidate
+// graphs, so the planned port numbers probed on one candidate are the
+// planned port numbers on the emitted graph; no robot ever crosses into H
+// and no new node is ever visited. Algorithms *with* 1-neighborhood
+// knowledge (e.g., the paper's Algorithm 4) see through the trap; the
+// failures() counter records such escapes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+
+namespace dyndisp {
+
+class CliqueTrapAdversary final : public Adversary {
+ public:
+  explicit CliqueTrapAdversary(std::size_t n);
+
+  std::string name() const override { return "clique-trap(Thm2)"; }
+  std::size_t node_count() const override { return n_; }
+  bool wants_plan_probe() const override { return true; }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+  /// Rounds where the trap could not prevent a new node from being visited.
+  std::size_t failures() const { return failures_; }
+
+  /// Rounds where no unused clique edge existed (alpha too small vs k);
+  /// the trap needs alpha(alpha-1)/2 > k as in the paper's proof.
+  std::size_t degenerate_rounds() const { return degenerate_; }
+
+ private:
+  std::size_t n_;
+  std::size_t failures_ = 0;
+  std::size_t degenerate_ = 0;
+
+  Graph build_probe_graph(const std::vector<NodeId>& occupied,
+                          const std::vector<NodeId>& empty) const;
+};
+
+}  // namespace dyndisp

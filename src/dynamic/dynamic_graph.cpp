@@ -1,0 +1,32 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace dyndisp {
+
+Configuration apply_plan(const Graph& g, Configuration conf,
+                         const MovePlan& plan) {
+  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
+    if (!conf.alive(id)) continue;
+    const Port p = plan[id - 1];
+    if (p == kInvalidPort) continue;
+    conf.set_position(id, g.neighbor(conf.position(id), p));
+  }
+  return conf;
+}
+
+std::size_t DynamicGraphLog::dynamic_diameter() const {
+  std::size_t d = 0;
+  for (const Graph& g : history_) d = std::max(d, diameter(g));
+  return d;
+}
+
+std::size_t DynamicGraphLog::dynamic_max_degree() const {
+  std::size_t d = 0;
+  for (const Graph& g : history_) d = std::max(d, g.max_degree());
+  return d;
+}
+
+}  // namespace dyndisp

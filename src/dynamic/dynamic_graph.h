@@ -1,0 +1,83 @@
+// The 1-interval connected dynamic graph model (Kuhn-Lynch-Oshman style,
+// Section II of the paper): a fixed vertex set V with |V| = n, and for each
+// round r an adversary-chosen edge set E_r such that G_r = (V, E_r) is
+// connected. The adversary knows the algorithm and all states up to round
+// r-1; the strongest adversaries here additionally dry-run the algorithm's
+// compute phase (the paper's "the adversary knows which robot will move
+// through which port in the next round", proof of Theorem 2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "robots/configuration.h"
+#include "util/types.h"
+
+namespace dyndisp {
+
+/// Planned exit ports for all robots on a candidate graph: entry id-1 holds
+/// the port robot id would take (kInvalidPort = stay put / dead).
+using MovePlan = std::vector<Port>;
+
+/// Dry-runs the algorithm's compute phase on a candidate graph without
+/// committing state. Installed by the simulation engine on adversaries that
+/// request it.
+using PlanProbe = std::function<MovePlan(const Graph&)>;
+
+/// Produces G_r each round. Implementations must keep |V| fixed and every
+/// emitted graph connected; dynamic::validate_graph enforces this in tests
+/// and (optionally) inside the engine.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Human-readable adversary name for tables and traces.
+  virtual std::string name() const = 0;
+
+  /// Number of nodes of every emitted graph.
+  virtual std::size_t node_count() const = 0;
+
+  /// Emits G_r given the configuration at the start of round r.
+  virtual Graph next_graph(Round r, const Configuration& conf) = 0;
+
+  /// True when this adversary dry-runs the algorithm (trap adversaries).
+  virtual bool wants_plan_probe() const { return false; }
+
+  /// Installs the dry-run callback. Called by the engine every round before
+  /// next_graph when wants_plan_probe() is true.
+  virtual void set_plan_probe(PlanProbe probe) { probe_ = std::move(probe); }
+
+ protected:
+  PlanProbe probe_;
+};
+
+/// Applies a move plan to a configuration on graph `g`: every alive robot
+/// with a non-zero planned port moves across that port. Used by trap
+/// adversaries to evaluate what a candidate graph would lead to.
+Configuration apply_plan(const Graph& g, Configuration conf,
+                         const MovePlan& plan);
+
+/// The dynamic graph as experienced by one execution: caches the per-round
+/// graphs an adversary emitted so traces, validators, and post-hoc metrics
+/// (dynamic diameter, dynamic max degree) can replay them.
+class DynamicGraphLog {
+ public:
+  void record(const Graph& g) { history_.push_back(g); }
+
+  std::size_t rounds() const { return history_.size(); }
+  const Graph& at(Round r) const { return history_[r]; }
+  const std::vector<Graph>& history() const { return history_; }
+
+  /// Dynamic diameter \hat{D}: max diameter over recorded rounds.
+  std::size_t dynamic_diameter() const;
+
+  /// Dynamic maximum degree \hat{Delta}: max degree over recorded rounds.
+  std::size_t dynamic_max_degree() const;
+
+ private:
+  std::vector<Graph> history_;
+};
+
+}  // namespace dyndisp

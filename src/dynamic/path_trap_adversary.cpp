@@ -1,0 +1,105 @@
+#include "dynamic/path_trap_adversary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dyndisp {
+
+PathTrapAdversary::PathTrapAdversary(std::size_t n, std::uint64_t seed,
+                                     std::size_t random_candidates)
+    : n_(n), rng_(seed), random_candidates_(random_candidates) {}
+
+Graph PathTrapAdversary::build_candidate(const std::vector<NodeId>& order,
+                                         const std::vector<NodeId>& empty,
+                                         const std::vector<bool>& flip) const {
+  Graph g(n_);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    g.add_edge(order[i - 1], order[i]);
+  if (!empty.empty()) {
+    const NodeId center = empty.front();
+    g.add_edge(order.back(), center);
+    for (std::size_t i = 1; i < empty.size(); ++i)
+      g.add_edge(center, empty[i]);
+  }
+  // Orientation flips: swapping the two ports of a degree-2 path node makes
+  // "the port I used last time" / "port 1" style rules walk backward.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (flip[i] && g.degree(order[i]) == 2) {
+      g.permute_ports(order[i], {1, 0});
+    }
+  }
+  return g;
+}
+
+Graph PathTrapAdversary::next_graph(Round, const Configuration& conf) {
+  assert(conf.node_count() == n_);
+  const auto occupied = conf.occupied_nodes();
+  const auto mult = conf.multiplicity_nodes();
+  std::vector<NodeId> empty;
+  {
+    const auto occ = conf.occupancy();
+    for (NodeId v = 0; v < n_; ++v)
+      if (occ[v] == 0) empty.push_back(v);
+  }
+
+  if (occupied.empty() || mult.empty()) {
+    // Dispersed (or no robots): the game is over; any connected graph works.
+    Graph g(n_);
+    for (NodeId v = 1; v < n_; ++v) g.add_edge(0, v);
+    return g;
+  }
+
+  // Path ordering: multiplicity nodes first (farthest from the blob), so the
+  // blob-adjacent end is a singleton whenever one exists.
+  const auto occ_counts = conf.occupancy();
+  std::vector<NodeId> base = occupied;
+  std::stable_sort(base.begin(), base.end(), [&](NodeId a, NodeId b) {
+    return occ_counts[a] > occ_counts[b];
+  });
+
+  const std::size_t alpha = base.size();
+  const std::size_t k = conf.alive_count();
+
+  // Candidate generation: orderings x flip masks, probed against the
+  // algorithm. Accept the first candidate on which the occupied-node count
+  // does not grow; otherwise fall back to the candidate minimizing it.
+  std::vector<std::pair<std::vector<NodeId>, std::vector<bool>>> candidates;
+  const std::vector<bool> no_flip(alpha, false);
+  candidates.emplace_back(base, no_flip);
+  for (std::size_t i = 0; i < alpha; ++i) {
+    std::vector<bool> f(alpha, false);
+    f[i] = true;
+    candidates.emplace_back(base, f);
+  }
+  for (std::size_t c = 0; c < random_candidates_; ++c) {
+    std::vector<NodeId> ord = base;
+    if (alpha > 2) {
+      // Keep the multiplicity block in front; shuffle the singleton tail.
+      std::vector<NodeId> tail(ord.begin() + 1, ord.end());
+      rng_.shuffle(tail);
+      std::copy(tail.begin(), tail.end(), ord.begin() + 1);
+    }
+    std::vector<bool> f(alpha);
+    for (std::size_t i = 0; i < alpha; ++i) f[i] = rng_.chance(0.5);
+    candidates.emplace_back(std::move(ord), std::move(f));
+  }
+
+  Graph best_graph;
+  std::size_t best_occupied = static_cast<std::size_t>(-1);
+  for (const auto& [ord, f] : candidates) {
+    Graph g = build_candidate(ord, empty, f);
+    if (!probe_) return g;  // no probe installed: emit the canonical trap
+    const MovePlan plan = probe_(g);
+    const std::size_t after =
+        apply_plan(g, conf, plan).occupied_count();
+    if (after <= conf.occupied_count()) return g;
+    if (after < best_occupied) {
+      best_occupied = after;
+      best_graph = std::move(g);
+    }
+  }
+  if (best_occupied >= k) ++failures_;  // a candidate-proof algorithm dispersed
+  return best_graph;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,55 @@
+// The Theorem 1 impossibility adversary (local communication model, Fig. 1).
+//
+// Invariant it maintains: the occupied nodes form a path with a multiplicity
+// node at one end, and all empty nodes hang off the far end as a star blob.
+// The only empty node adjacent to any occupied node is the blob center, so
+// the occupied-node count can grow only if the robot at the path end enters
+// the blob AND the entire chain of robots behind it shifts forward in the
+// same round. Because robots communicate only locally, interior robots
+// cannot know which path direction leads to the blob; the adversary exploits
+// this by probing the algorithm's planned moves on candidate graphs (path
+// orderings x per-node port flips) and emitting one on which the chain
+// breaks, so the occupied count never reaches k.
+//
+// An executable cannot quantify over all algorithms, so the trap reports how
+// many rounds it failed to contain (failures() == 0 over a long horizon is
+// the reproduced claim; the theorem guarantees a containing candidate exists
+// for every deterministic local algorithm, k >= 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+
+class PathTrapAdversary final : public Adversary {
+ public:
+  PathTrapAdversary(std::size_t n, std::uint64_t seed = 13,
+                    std::size_t random_candidates = 16);
+
+  std::string name() const override { return "path-trap(Thm1)"; }
+  std::size_t node_count() const override { return n_; }
+  bool wants_plan_probe() const override { return true; }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+  /// Rounds in which no probed candidate prevented progress.
+  std::size_t failures() const { return failures_; }
+
+ private:
+  std::size_t n_;
+  Rng rng_;
+  std::size_t random_candidates_;
+  std::size_t failures_ = 0;
+
+  /// Builds path-over-occupied (in `order`) + empty star blob at the far
+  /// end; `flip[i]` swaps the two path ports of interior path node i.
+  Graph build_candidate(const std::vector<NodeId>& order,
+                        const std::vector<NodeId>& empty,
+                        const std::vector<bool>& flip) const;
+};
+
+}  // namespace dyndisp

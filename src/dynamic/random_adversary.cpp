@@ -1,0 +1,17 @@
+#include "dynamic/random_adversary.h"
+
+#include "graph/builders.h"
+
+namespace dyndisp {
+
+RandomAdversary::RandomAdversary(std::size_t n, std::size_t extra_edges,
+                                 std::uint64_t seed)
+    : n_(n), extra_edges_(extra_edges), rng_(seed) {}
+
+Graph RandomAdversary::next_graph(Round, const Configuration&) {
+  Graph g = builders::random_connected(n_, extra_edges_, rng_);
+  g.shuffle_ports(rng_);
+  return g;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,28 @@
+// Oblivious random adversary: emits a fresh random connected graph (random
+// spanning tree plus `extra_edges` chords) with freshly shuffled port labels
+// every round. This is the workhorse "benign but fully dynamic" input for
+// the Theorem 4 scaling experiments.
+#pragma once
+
+#include <string>
+
+#include "dynamic/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+
+class RandomAdversary final : public Adversary {
+ public:
+  RandomAdversary(std::size_t n, std::size_t extra_edges, std::uint64_t seed);
+
+  std::string name() const override { return "random-connected"; }
+  std::size_t node_count() const override { return n_; }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+ private:
+  std::size_t n_;
+  std::size_t extra_edges_;
+  Rng rng_;
+};
+
+}  // namespace dyndisp

@@ -1,0 +1,23 @@
+#include "dynamic/scripted_adversary.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dyndisp {
+
+ScriptedAdversary::ScriptedAdversary(std::vector<Graph> script)
+    : script_(std::move(script)) {
+  assert(!script_.empty());
+  for (const Graph& g : script_) {
+    assert(g.node_count() == script_.front().node_count());
+    (void)g;
+  }
+}
+
+Graph ScriptedAdversary::next_graph(Round r, const Configuration&) {
+  const std::size_t idx =
+      r < script_.size() ? static_cast<std::size_t>(r) : script_.size() - 1;
+  return script_[idx];
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,26 @@
+// Adversary that plays a pre-recorded sequence of graphs; after the script
+// runs out it keeps replaying the last graph. Used by tests that need exact
+// control over every round and by the Fig. 3/4 walkthrough.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+
+namespace dyndisp {
+
+class ScriptedAdversary final : public Adversary {
+ public:
+  /// `script` must be non-empty and all graphs must share a node count.
+  explicit ScriptedAdversary(std::vector<Graph> script);
+
+  std::string name() const override { return "scripted"; }
+  std::size_t node_count() const override { return script_.front().node_count(); }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+ private:
+  std::vector<Graph> script_;
+};
+
+}  // namespace dyndisp

@@ -1,0 +1,20 @@
+#include "dynamic/static_adversary.h"
+
+#include <utility>
+
+namespace dyndisp {
+
+StaticAdversary::StaticAdversary(Graph g, bool reshuffle_ports,
+                                 std::uint64_t seed)
+    : graph_(std::move(g)), reshuffle_ports_(reshuffle_ports), rng_(seed) {}
+
+std::string StaticAdversary::name() const {
+  return reshuffle_ports_ ? "static+port-shuffle" : "static";
+}
+
+Graph StaticAdversary::next_graph(Round, const Configuration&) {
+  if (reshuffle_ports_) graph_.shuffle_ports(rng_);
+  return graph_;
+}
+
+}  // namespace dyndisp

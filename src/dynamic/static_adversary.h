@@ -1,0 +1,29 @@
+// Degenerate adversary that replays a fixed graph every round -- the static
+// special case of the dynamic model. Optionally re-shuffles port labels each
+// round, which static-graph algorithms cannot tolerate but the paper's
+// Algorithm 4 can (it rebuilds all structures from scratch every round).
+#pragma once
+
+#include <string>
+
+#include "dynamic/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+
+class StaticAdversary final : public Adversary {
+ public:
+  explicit StaticAdversary(Graph g, bool reshuffle_ports = false,
+                           std::uint64_t seed = 1);
+
+  std::string name() const override;
+  std::size_t node_count() const override { return graph_.node_count(); }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+ private:
+  Graph graph_;
+  bool reshuffle_ports_;
+  Rng rng_;
+};
+
+}  // namespace dyndisp

@@ -1,0 +1,30 @@
+#include "dynamic/t_interval_adversary.h"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace dyndisp {
+
+TIntervalAdversary::TIntervalAdversary(std::unique_ptr<Adversary> inner,
+                                       std::size_t t)
+    : inner_(std::move(inner)), t_(t) {
+  assert(inner_ != nullptr);
+  assert(t_ >= 1);
+}
+
+std::string TIntervalAdversary::name() const {
+  std::ostringstream os;
+  os << t_ << "-interval(" << inner_->name() << ")";
+  return os.str();
+}
+
+Graph TIntervalAdversary::next_graph(Round r, const Configuration& conf) {
+  if (!have_current_ || r % t_ == 0) {
+    current_ = inner_->next_graph(r, conf);
+    have_current_ = true;
+  }
+  return current_;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,37 @@
+// T-interval connected adversary (the paper's first future-work direction):
+// wraps any inner adversary and holds each emitted graph fixed for T
+// consecutive rounds. For T = 1 this is exactly the inner adversary; for
+// larger T the whole graph is stable across each window, which trivially
+// satisfies T-interval connectivity (a stable connected spanning subgraph
+// across every window of T rounds).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dynamic/dynamic_graph.h"
+
+namespace dyndisp {
+
+class TIntervalAdversary final : public Adversary {
+ public:
+  /// Requires t >= 1 and a non-null inner adversary.
+  TIntervalAdversary(std::unique_ptr<Adversary> inner, std::size_t t);
+
+  std::string name() const override;
+  std::size_t node_count() const override { return inner_->node_count(); }
+  Graph next_graph(Round r, const Configuration& conf) override;
+
+  bool wants_plan_probe() const override { return inner_->wants_plan_probe(); }
+  void set_plan_probe(PlanProbe probe) override {
+    inner_->set_plan_probe(std::move(probe));
+  }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  std::size_t t_;
+  Graph current_;
+  bool have_current_ = false;
+};
+
+}  // namespace dyndisp

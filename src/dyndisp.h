@@ -1,0 +1,42 @@
+// Umbrella header: everything a downstream user of the dyndisp library
+// needs. Individual headers remain includable on their own; this exists for
+// quick starts and REPL-style experimentation.
+#pragma once
+
+#include "analysis/experiment.h"   // IWYU pragma: export
+#include "analysis/verify.h"       // IWYU pragma: export
+#include "baselines/blind_walk.h"  // IWYU pragma: export
+#include "baselines/dfs_dispersion.h"  // IWYU pragma: export
+#include "baselines/greedy_local.h"    // IWYU pragma: export
+#include "baselines/random_walk.h"     // IWYU pragma: export
+#include "core/component.h"            // IWYU pragma: export
+#include "core/disjoint_paths.h"       // IWYU pragma: export
+#include "core/dispersion.h"           // IWYU pragma: export
+#include "core/planner.h"              // IWYU pragma: export
+#include "core/spanning_tree.h"        // IWYU pragma: export
+#include "dynamic/churn_adversary.h"   // IWYU pragma: export
+#include "dynamic/clique_trap_adversary.h"  // IWYU pragma: export
+#include "dynamic/dynamic_graph.h"          // IWYU pragma: export
+#include "dynamic/path_trap_adversary.h"    // IWYU pragma: export
+#include "dynamic/random_adversary.h"       // IWYU pragma: export
+#include "dynamic/ring_adversary.h"         // IWYU pragma: export
+#include "dynamic/scripted_adversary.h"     // IWYU pragma: export
+#include "dynamic/star_star_adversary.h"    // IWYU pragma: export
+#include "dynamic/static_adversary.h"       // IWYU pragma: export
+#include "dynamic/t_interval_adversary.h"   // IWYU pragma: export
+#include "dynamic/validator.h"              // IWYU pragma: export
+#include "graph/algorithms.h"               // IWYU pragma: export
+#include "graph/builders.h"                 // IWYU pragma: export
+#include "graph/graph.h"                    // IWYU pragma: export
+#include "graph/io.h"                       // IWYU pragma: export
+#include "graph/local_view.h"               // IWYU pragma: export
+#include "robots/configuration.h"           // IWYU pragma: export
+#include "robots/placement.h"               // IWYU pragma: export
+#include "sim/byzantine.h"                  // IWYU pragma: export
+#include "sim/engine.h"                     // IWYU pragma: export
+#include "sim/fault.h"                      // IWYU pragma: export
+#include "sim/sensing.h"                    // IWYU pragma: export
+#include "sim/trace.h"                      // IWYU pragma: export
+#include "util/rng.h"                       // IWYU pragma: export
+#include "util/stats.h"                     // IWYU pragma: export
+#include "viz/svg.h"                        // IWYU pragma: export

@@ -1,0 +1,174 @@
+#include "graph/builders.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+#include <queue>
+
+namespace dyndisp::builders {
+
+Graph path(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  assert(n >= 3);
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, static_cast<NodeId>(a + v));
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  assert(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph torus(std::size_t rows, std::size_t cols) {
+  assert(rows >= 3 && cols >= 3);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph hypercube(std::size_t d) {
+  assert(d >= 1 && d < 32);
+  const std::size_t n = std::size_t{1} << d;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const NodeId u = v ^ static_cast<NodeId>(1u << bit);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Graph binary_tree(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge((v - 1) / 2, v);
+  return g;
+}
+
+Graph lollipop(std::size_t m, std::size_t p) {
+  assert(m >= 1);
+  Graph g(m + p);
+  for (NodeId u = 0; u < m; ++u)
+    for (NodeId v = u + 1; v < m; ++v) g.add_edge(u, v);
+  for (std::size_t i = 0; i < p; ++i) {
+    const NodeId tail = static_cast<NodeId>(m + i);
+    g.add_edge(tail == m ? static_cast<NodeId>(m - 1) : tail - 1, tail);
+  }
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  assert(n >= 1);
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Decode a uniformly random Prufer sequence: repeatedly join the smallest
+  // remaining leaf to the next sequence element.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<NodeId>(rng.below(n));
+  std::vector<std::size_t> deg(n, 1);
+  for (NodeId x : prufer) ++deg[x];
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> leaves;
+  for (NodeId v = 0; v < n; ++v)
+    if (deg[v] == 1) leaves.push(v);
+  for (NodeId x : prufer) {
+    const NodeId leaf = leaves.top();
+    leaves.pop();
+    g.add_edge(leaf, x);
+    if (--deg[x] == 1) leaves.push(x);
+  }
+  const NodeId a = leaves.top();
+  leaves.pop();
+  const NodeId b = leaves.top();
+  g.add_edge(a, b);
+  return g;
+}
+
+Graph random_connected(std::size_t n, std::size_t extra_edges, Rng& rng) {
+  Graph g = random_tree(n, rng);
+  const std::size_t max_edges = n * (n - 1) / 2;
+  std::size_t budget = std::min(extra_edges, max_edges - g.edge_count());
+  std::size_t attempts = 0;
+  const std::size_t attempt_cap = 50 * (budget + 1) + 100;
+  while (budget > 0 && attempts++ < attempt_cap) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    --budget;
+  }
+  // Fall back to a deterministic sweep when rejection sampling stalls
+  // (dense graphs): add the lexicographically first missing edges.
+  if (budget > 0) {
+    for (NodeId u = 0; u < n && budget > 0; ++u)
+      for (NodeId v = u + 1; v < n && budget > 0; ++v)
+        if (!g.has_edge(u, v)) {
+          g.add_edge(u, v);
+          --budget;
+        }
+  }
+  return g;
+}
+
+Graph random_connected_p(std::size_t n, double p, Rng& rng) {
+  Graph g = random_tree(n, rng);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (!g.has_edge(u, v) && rng.chance(p)) g.add_edge(u, v);
+  return g;
+}
+
+}  // namespace dyndisp::builders

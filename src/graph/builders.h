@@ -1,0 +1,56 @@
+// Standard graph families used by tests, adversaries, and benches.
+//
+// Every builder returns a Graph whose port labels follow deterministic
+// insertion order; callers that want adversarial or randomized labelings
+// apply Graph::shuffle_ports afterwards.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dyndisp::builders {
+
+/// Path 0-1-2-...-(n-1). Requires n >= 1.
+Graph path(std::size_t n);
+
+/// Cycle 0-1-...-(n-1)-0. Requires n >= 3.
+Graph cycle(std::size_t n);
+
+/// Star with center 0 and leaves 1..n-1. Requires n >= 1.
+Graph star(std::size_t n);
+
+/// Complete graph K_n. Requires n >= 1.
+Graph complete(std::size_t n);
+
+/// Complete bipartite K_{a,b}; side A is nodes [0,a), side B is [a, a+b).
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// rows x cols grid; node (r, c) has index r*cols + c. Requires rows, cols >= 1.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols torus (grid with wraparound). Requires rows, cols >= 3.
+Graph torus(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube with 2^d nodes. Requires d >= 1.
+Graph hypercube(std::size_t d);
+
+/// Complete binary tree with n nodes (heap indexing: children 2i+1, 2i+2).
+Graph binary_tree(std::size_t n);
+
+/// Lollipop: K_m attached to a path of p extra nodes. Requires m >= 1.
+Graph lollipop(std::size_t m, std::size_t p);
+
+/// Uniform random labeled tree via a random Prüfer sequence. Requires n >= 1.
+Graph random_tree(std::size_t n, Rng& rng);
+
+/// Connected random graph: a random tree plus `extra_edges` distinct random
+/// non-tree edges (clamped to the number of available slots).
+Graph random_connected(std::size_t n, std::size_t extra_edges, Rng& rng);
+
+/// Connected Erdos-Renyi-style graph: each non-tree pair kept with
+/// probability p on top of a random spanning tree.
+Graph random_connected_p(std::size_t n, double p, Rng& rng);
+
+}  // namespace dyndisp::builders

@@ -1,0 +1,161 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace dyndisp {
+
+Graph Graph::from_edges(std::size_t n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& inc : adj_) d = std::max(d, inc.size());
+  return d;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  for (const auto& he : adj_[u])
+    if (he.to == v) return true;
+  return false;
+}
+
+Port Graph::port_to(NodeId u, NodeId v) const {
+  for (std::size_t i = 0; i < adj_[u].size(); ++i)
+    if (adj_[u][i].to == v) return static_cast<Port>(i + 1);
+  return kInvalidPort;
+}
+
+std::pair<Port, Port> Graph::add_edge(NodeId u, NodeId v) {
+  assert(u < adj_.size() && v < adj_.size());
+  assert(u != v && "self-loops are not part of the model");
+  assert(!has_edge(u, v) && "parallel edges are not part of the model");
+  const Port pu = static_cast<Port>(adj_[u].size() + 1);
+  const Port pv = static_cast<Port>(adj_[v].size() + 1);
+  adj_[u].push_back(HalfEdge{v, pv});
+  adj_[v].push_back(HalfEdge{u, pu});
+  ++edge_count_;
+  return {pu, pv};
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  const Port pu = port_to(u, v);
+  if (pu == kInvalidPort) return false;
+  const Port pv = adj_[u][pu - 1].reverse_port;
+
+  auto drop = [&](NodeId a, Port pa) {
+    adj_[a].erase(adj_[a].begin() + (pa - 1));
+    // Compact: every half-edge that used to sit at a port > pa shifts down;
+    // fix the reverse_port recorded at the far endpoint.
+    for (std::size_t i = pa - 1; i < adj_[a].size(); ++i) {
+      const HalfEdge& he = adj_[a][i];
+      adj_[he.to][he.reverse_port - 1].reverse_port = static_cast<Port>(i + 1);
+    }
+  };
+  drop(u, pu);
+  // pv is still valid at v: dropping at u only rewrote reverse ports stored
+  // at *other* endpoints of u's edges; the edge {u,v} itself is gone from u.
+  drop(v, pv);
+  --edge_count_;
+  return true;
+}
+
+void Graph::rewire_edge(NodeId u, NodeId v, NodeId x, NodeId y) {
+  const Port pu = port_to(u, v);
+  assert(pu != kInvalidPort && "rewire_edge requires the edge {u,v}");
+  const Port pv = adj_[u][pu - 1].reverse_port;
+  assert(x != u && !has_edge(u, x));
+  assert(y != v && !has_edge(v, y));
+  const Port px = static_cast<Port>(adj_[x].size() + 1);
+  adj_[x].push_back(HalfEdge{u, pu});
+  adj_[u][pu - 1] = HalfEdge{x, px};
+  const Port py = static_cast<Port>(adj_[y].size() + 1);
+  adj_[y].push_back(HalfEdge{v, pv});
+  adj_[v][pv - 1] = HalfEdge{y, py};
+  ++edge_count_;
+}
+
+void Graph::permute_ports(NodeId v, const std::vector<std::size_t>& perm) {
+  assert(perm.size() == adj_[v].size());
+  std::vector<HalfEdge> next(adj_[v].size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    assert(perm[i] < next.size());
+    next[perm[i]] = adj_[v][i];
+  }
+  adj_[v] = std::move(next);
+  for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+    const HalfEdge& he = adj_[v][i];
+    adj_[he.to][he.reverse_port - 1].reverse_port = static_cast<Port>(i + 1);
+  }
+}
+
+void Graph::shuffle_ports(Rng& rng) {
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    std::vector<std::size_t> perm(adj_[v].size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+    permute_ports(v, perm);
+  }
+}
+
+std::vector<Graph::Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_count_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+      const HalfEdge& he = adj_[u][i];
+      if (u < he.to) {
+        result.push_back(Edge{u, he.to, static_cast<Port>(i + 1),
+                              he.reverse_port});
+      }
+    }
+  }
+  return result;
+}
+
+std::string Graph::validate() const {
+  std::size_t half_edges = 0;
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    half_edges += adj_[v].size();
+    for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+      const HalfEdge& he = adj_[v][i];
+      std::ostringstream err;
+      if (he.to >= adj_.size()) {
+        err << "node " << v << " port " << i + 1 << " points outside graph";
+        return err.str();
+      }
+      if (he.to == v) {
+        err << "self-loop at node " << v;
+        return err.str();
+      }
+      if (he.reverse_port == kInvalidPort ||
+          he.reverse_port > adj_[he.to].size()) {
+        err << "node " << v << " port " << i + 1 << " has bad reverse port";
+        return err.str();
+      }
+      const HalfEdge& back = adj_[he.to][he.reverse_port - 1];
+      if (back.to != v || back.reverse_port != static_cast<Port>(i + 1)) {
+        err << "reverse port mismatch on edge {" << v << "," << he.to << "}";
+        return err.str();
+      }
+      for (std::size_t j = i + 1; j < adj_[v].size(); ++j) {
+        if (adj_[v][j].to == he.to) {
+          err << "parallel edge {" << v << "," << he.to << "}";
+          return err.str();
+        }
+      }
+    }
+  }
+  if (half_edges != 2 * edge_count_) {
+    return "edge_count out of sync with adjacency";
+  }
+  return {};
+}
+
+}  // namespace dyndisp

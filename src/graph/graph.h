@@ -1,0 +1,121 @@
+// Port-labeled anonymous undirected graph (Section II of the paper).
+//
+// Nodes carry no identifiers visible to algorithms; what the model exposes is
+// that the edges incident to a node v are labeled by distinct ports in
+// [1, deg(v)], and that an edge {u, v} has two independent port numbers, one
+// per endpoint, with no correlation between them. The simulator uses internal
+// NodeIds in [0, n) to represent topology; algorithm-facing layers translate
+// everything into ports / robot IDs before handing information to robots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dyndisp {
+
+/// One endpoint's view of an incident edge.
+struct HalfEdge {
+  NodeId to = kInvalidNode;     ///< The neighbor this port leads to.
+  Port reverse_port = kInvalidPort;  ///< The port of `to` that leads back.
+};
+
+/// Undirected simple graph with per-node contiguous port labels.
+///
+/// Ports are 1-based: node v with degree d exposes ports 1..d, and
+/// `half_edge(v, p)` resolves port p. The class maintains the invariant that
+/// reverse ports are consistent: if half_edge(v, p) == {u, q} then
+/// half_edge(u, q) == {v, p}.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph with `n` nodes.
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  /// Builds a graph from an edge list; ports are assigned in list order
+  /// (the i-th edge incident to v gets port i+1 at v).
+  static Graph from_edges(std::size_t n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  std::size_t degree(NodeId v) const { return adj_[v].size(); }
+
+  /// Maximum degree over all nodes (Delta_r in the paper); 0 if edgeless.
+  std::size_t max_degree() const;
+
+  /// Resolves port `p` in [1, degree(v)] at node `v`.
+  const HalfEdge& half_edge(NodeId v, Port p) const { return adj_[v][p - 1]; }
+
+  /// The neighbor reached from `v` via port `p`.
+  NodeId neighbor(NodeId v, Port p) const { return half_edge(v, p).to; }
+
+  /// All incident half-edges of `v`, indexed by port-1.
+  const std::vector<HalfEdge>& incident(NodeId v) const { return adj_[v]; }
+
+  /// True if {u, v} is an edge (linear scan; graphs here are sparse).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Port at `u` leading to `v`, or kInvalidPort when {u,v} is not an edge.
+  Port port_to(NodeId u, NodeId v) const;
+
+  /// Adds the edge {u, v}; returns the (port at u, port at v) pair.
+  /// Requires u != v and that the edge is not already present.
+  std::pair<Port, Port> add_edge(NodeId u, NodeId v);
+
+  /// Removes the edge {u, v} if present, compacting port labels so they stay
+  /// contiguous (the ports of later edges shift down by one at each
+  /// endpoint). Returns true if an edge was removed.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Replaces the edge {u, v} with the two edges {u, x} and {v, y} while
+  /// keeping the port layout at u and v intact: the port that led from u to v
+  /// now leads to x, and the port that led from v to u now leads to y. The
+  /// new half-edges at x and y are appended (highest ports). This is the
+  /// surgical rewiring used by the Theorem 2 clique-trap adversary, which
+  /// must not disturb any port a robot could have planned to use.
+  /// Requires {u, v} present, {u, x} and {v, y} absent, x != u, y != v.
+  void rewire_edge(NodeId u, NodeId v, NodeId x, NodeId y);
+
+  /// Randomly permutes the port labels of every node. Models the adversary's
+  /// freedom to choose arbitrary port numberings each round.
+  void shuffle_ports(Rng& rng);
+
+  /// Applies an explicit port permutation at node `v`: `perm[i]` is the new
+  /// 0-based position of the half-edge currently at 0-based position i.
+  /// `perm` must be a permutation of [0, degree(v)).
+  void permute_ports(NodeId v, const std::vector<std::size_t>& perm);
+
+  /// All edges as (u, v, port at u, port at v) with u < v, in port order at u.
+  struct Edge {
+    NodeId u, v;
+    Port port_u, port_v;
+  };
+  std::vector<Edge> edges() const;
+
+  /// Verifies internal consistency (reverse ports, contiguity, simplicity).
+  /// Returns an empty string when valid, else a description of the violation.
+  std::string validate() const;
+
+  bool operator==(const Graph& other) const {
+    return adj_ == other.adj_;
+  }
+
+ private:
+  std::vector<std::vector<HalfEdge>> adj_;
+  std::size_t edge_count_ = 0;
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&);
+};
+
+inline bool operator==(const HalfEdge& a, const HalfEdge& b) {
+  return a.to == b.to && a.reverse_port == b.reverse_port;
+}
+
+}  // namespace dyndisp

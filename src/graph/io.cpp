@@ -1,0 +1,55 @@
+#include "graph/io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dyndisp {
+
+std::string to_dot(const Graph& g, const std::vector<std::size_t>& occupancy,
+                   const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  os << "  node [shape=circle];\n";
+  const bool with_occ = occupancy.size() == g.node_count();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << v;
+    if (with_occ && occupancy[v] > 0) os << "\\nr=" << occupancy[v];
+    os << "\"";
+    if (with_occ && occupancy[v] > 0)
+      os << ", style=filled, fillcolor=" << (occupancy[v] > 1 ? "salmon" : "lightblue");
+    os << "];\n";
+  }
+  for (const auto& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v << " [taillabel=\"" << e.port_u
+       << "\", headlabel=\"" << e.port_v << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const auto& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t n = 0, m = 0;
+  if (!(is >> n >> m)) throw std::invalid_argument("edge list: missing header");
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u, v;
+    if (!(is >> u >> v))
+      throw std::invalid_argument("edge list: truncated edge section");
+    if (u >= n || v >= n)
+      throw std::invalid_argument("edge list: endpoint out of range");
+    if (u == v) throw std::invalid_argument("edge list: self-loop");
+    if (g.has_edge(u, v)) throw std::invalid_argument("edge list: duplicate edge");
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,41 @@
+#include "graph/local_view.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dyndisp {
+
+LocalView local_view(const Graph& g, NodeId node,
+                     const std::vector<std::size_t>& occupancy) {
+  LocalView view;
+  view.own_count = occupancy[node];
+  view.degree = g.degree(node);
+  view.neighbor_counts.reserve(view.degree);
+  for (const HalfEdge& he : g.incident(node))
+    view.neighbor_counts.push_back(occupancy[he.to]);
+  return view;
+}
+
+std::string encode_view(const LocalView& view) {
+  std::ostringstream os;
+  os << "own=" << view.own_count << ";deg=" << view.degree << ";ports=";
+  for (std::size_t i = 0; i < view.neighbor_counts.size(); ++i) {
+    if (i) os << ',';
+    os << view.neighbor_counts[i];
+  }
+  return os.str();
+}
+
+std::string encode_view_canonical(const LocalView& view) {
+  LocalView sorted = view;
+  std::sort(sorted.neighbor_counts.begin(), sorted.neighbor_counts.end());
+  return encode_view(sorted);
+}
+
+bool views_symmetric(const Graph& g, NodeId a, NodeId b,
+                     const std::vector<std::size_t>& occupancy) {
+  return encode_view_canonical(local_view(g, a, occupancy)) ==
+         encode_view_canonical(local_view(g, b, occupancy));
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,45 @@
+// Canonical encodings of a node's 1-neighborhood "view".
+//
+// The impossibility proof of Theorem 1 rests on two nodes (w and x in
+// Fig. 1) whose local information is symmetric: because port numbers are
+// uncorrelated across nodes, no deterministic rule can make the robots on
+// both nodes move in a consistent direction along the path. These helpers
+// canonicalize what a robot can observe at a node so the symmetry can be
+// asserted programmatically in tests and in the impossibility bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace dyndisp {
+
+/// What a robot standing on `node` observes with 1-neighborhood knowledge.
+/// `occupancy[v]` is the number of robots on node v (simulator-side input).
+struct LocalView {
+  std::size_t own_count = 0;            ///< robots co-located with the observer
+  std::size_t degree = 0;               ///< deg(node) in the current graph
+  /// Per port (index = port-1): robot count on the neighbor behind it.
+  std::vector<std::size_t> neighbor_counts;
+};
+
+/// Extracts the local view of `node` in `g` under `occupancy`.
+LocalView local_view(const Graph& g, NodeId node,
+                     const std::vector<std::size_t>& occupancy);
+
+/// Canonical string for a view *as observed through a fixed port labeling*.
+std::string encode_view(const LocalView& view);
+
+/// Canonical string invariant under port relabeling (sorts the per-port
+/// attributes). Two nodes with equal canonical encodings are
+/// indistinguishable to ID-oblivious deterministic rules, because the
+/// adversary may renumber ports arbitrarily each round.
+std::string encode_view_canonical(const LocalView& view);
+
+/// True if nodes a and b are view-symmetric (equal canonical encodings).
+bool views_symmetric(const Graph& g, NodeId a, NodeId b,
+                     const std::vector<std::size_t>& occupancy);
+
+}  // namespace dyndisp

@@ -1,0 +1,68 @@
+#include "robots/configuration.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dyndisp {
+
+Configuration::Configuration(std::size_t n, std::vector<NodeId> positions)
+    : node_count_(n),
+      position_(std::move(positions)),
+      alive_(position_.size(), true) {
+  assert(position_.size() <= n && "the model requires k <= n");
+  for (const NodeId v : position_) {
+    assert(v < n);
+    (void)v;
+  }
+}
+
+std::size_t Configuration::alive_count() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+void Configuration::set_position(RobotId id, NodeId v) {
+  assert(id >= 1 && id <= position_.size());
+  assert(v < node_count_);
+  position_[id - 1] = v;
+}
+
+std::vector<std::size_t> Configuration::occupancy() const {
+  std::vector<std::size_t> occ(node_count_, 0);
+  for (std::size_t i = 0; i < position_.size(); ++i)
+    if (alive_[i]) ++occ[position_[i]];
+  return occ;
+}
+
+std::vector<RobotId> Configuration::robots_at(NodeId v) const {
+  std::vector<RobotId> ids;
+  for (std::size_t i = 0; i < position_.size(); ++i)
+    if (alive_[i] && position_[i] == v) ids.push_back(static_cast<RobotId>(i + 1));
+  return ids;
+}
+
+std::vector<NodeId> Configuration::occupied_nodes() const {
+  const auto occ = occupancy();
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < occ.size(); ++v)
+    if (occ[v] > 0) nodes.push_back(v);
+  return nodes;
+}
+
+std::vector<NodeId> Configuration::multiplicity_nodes() const {
+  const auto occ = occupancy();
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < occ.size(); ++v)
+    if (occ[v] > 1) nodes.push_back(v);
+  return nodes;
+}
+
+bool Configuration::is_dispersed() const {
+  return multiplicity_nodes().empty();
+}
+
+std::size_t Configuration::occupied_count() const {
+  return occupied_nodes().size();
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,61 @@
+// Robot configurations: which robot stands on which node (Section II).
+//
+// A configuration Conf_r maps every robot id in [1, k] to a node of G_r.
+// Robots can also be dead (crash faults, Section VII); dead robots vanish:
+// they occupy nothing, send nothing, and never move again.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dyndisp {
+
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// k robots (ids 1..k) on an n-node graph; positions must be < n.
+  Configuration(std::size_t n, std::vector<NodeId> positions);
+
+  std::size_t robot_count() const { return position_.size(); }
+  std::size_t node_count() const { return node_count_; }
+
+  /// Number of alive robots.
+  std::size_t alive_count() const;
+
+  NodeId position(RobotId id) const { return position_[id - 1]; }
+  void set_position(RobotId id, NodeId v);
+
+  bool alive(RobotId id) const { return alive_[id - 1]; }
+  /// Marks a robot crashed. Idempotent.
+  void kill(RobotId id) { alive_[id - 1] = false; }
+
+  /// Robot count per node, counting alive robots only.
+  std::vector<std::size_t> occupancy() const;
+
+  /// Alive robot ids on node v, sorted ascending.
+  std::vector<RobotId> robots_at(NodeId v) const;
+
+  /// Nodes with at least one alive robot, sorted ascending.
+  std::vector<NodeId> occupied_nodes() const;
+
+  /// Nodes with two or more alive robots, sorted ascending.
+  std::vector<NodeId> multiplicity_nodes() const;
+
+  /// True when every alive robot is alone on its node (Definition 1 / 6).
+  bool is_dispersed() const;
+
+  /// Number of distinct occupied nodes (alive robots).
+  std::size_t occupied_count() const;
+
+  bool operator==(const Configuration&) const = default;
+
+ private:
+  std::size_t node_count_ = 0;
+  std::vector<NodeId> position_;  // indexed by robot id - 1
+  std::vector<bool> alive_;       // indexed by robot id - 1
+};
+
+}  // namespace dyndisp

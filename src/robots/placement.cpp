@@ -1,0 +1,44 @@
+#include "robots/placement.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace dyndisp::placement {
+
+Configuration rooted(std::size_t n, std::size_t k, NodeId root) {
+  assert(k <= n && root < n);
+  return Configuration(n, std::vector<NodeId>(k, root));
+}
+
+Configuration uniform_random(std::size_t n, std::size_t k, Rng& rng) {
+  assert(k <= n);
+  std::vector<NodeId> pos(k);
+  for (auto& p : pos) p = static_cast<NodeId>(rng.below(n));
+  return Configuration(n, std::move(pos));
+}
+
+Configuration grouped(std::size_t n, std::size_t k, std::size_t groups,
+                      Rng& rng) {
+  assert(groups >= 1 && groups <= k && groups <= n);
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  rng.shuffle(nodes);
+  std::vector<NodeId> pos(k);
+  for (std::size_t i = 0; i < k; ++i) pos[i] = nodes[i % groups];
+  return Configuration(n, std::move(pos));
+}
+
+Configuration figure1(std::size_t n, std::size_t k) {
+  assert(k >= 3 && k <= n && "figure-1 trap needs k >= 3");
+  std::vector<NodeId> pos(k);
+  pos[0] = 0;  // the doubled node "v"
+  pos[1] = 0;
+  for (std::size_t i = 2; i < k; ++i) pos[i] = static_cast<NodeId>(i - 1);
+  return Configuration(n, std::move(pos));
+}
+
+Configuration explicit_positions(std::size_t n, std::vector<NodeId> positions) {
+  return Configuration(n, std::move(positions));
+}
+
+}  // namespace dyndisp::placement

@@ -1,0 +1,52 @@
+// The robot-algorithm interface: one instance per robot, driven by the
+// engine through synchronous Communicate-Compute-Move rounds.
+//
+// Contract (mirrors Section II):
+//   * step() receives the robot's view for the round and returns the exit
+//     port (kInvalidPort to stay). All computation inside step() is the
+//     round's free "temporary memory".
+//   * State kept on the object across step() calls is the robot's persistent
+//     memory; serialize() must write ALL of it so the engine can meter the
+//     bit count (Lemma 8 audits Theta(log k)).
+//   * step() must be deterministic: trap adversaries dry-run clones of the
+//     robots (via clone()) to predict moves, exactly as the paper's
+//     adversary "knows the algorithm and the states until round r-1".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/sensing.h"
+#include "util/bits.h"
+#include "util/types.h"
+
+namespace dyndisp {
+
+class RobotAlgorithm {
+ public:
+  virtual ~RobotAlgorithm() = default;
+
+  /// Deep copy including all persistent state (used by plan probes).
+  virtual std::unique_ptr<RobotAlgorithm> clone() const = 0;
+
+  /// Compute phase: decide the exit port for this round (kInvalidPort: stay).
+  virtual Port step(const RobotView& view) = 0;
+
+  /// Serializes the persistent (between-round) state for memory metering.
+  virtual void serialize(BitWriter& out) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Model requirements; the engine rejects mismatched configurations unless
+  /// explicitly asked to run an algorithm outside its comfort zone (that is
+  /// exactly what the impossibility benches do).
+  virtual bool requires_global_comm() const = 0;
+  virtual bool requires_neighborhood() const = 0;
+};
+
+/// Creates the algorithm instance for robot `id` out of `k` robots.
+using AlgorithmFactory =
+    std::function<std::unique_ptr<RobotAlgorithm>(RobotId id, std::size_t k)>;
+
+}  // namespace dyndisp

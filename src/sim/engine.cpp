@@ -1,0 +1,280 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "dynamic/validator.h"
+
+namespace dyndisp {
+
+Engine::Engine(Adversary& adversary, Configuration initial,
+               const AlgorithmFactory& factory, EngineOptions options,
+               FaultSchedule faults)
+    : adversary_(adversary),
+      conf_(std::move(initial)),
+      options_(options),
+      faults_(std::move(faults)) {
+  if (adversary_.node_count() != conf_.node_count()) {
+    throw std::invalid_argument(
+        "engine: adversary and configuration disagree on node count");
+  }
+  const std::size_t k = conf_.robot_count();
+  robots_.reserve(k);
+  for (RobotId id = 1; id <= k; ++id) robots_.push_back(factory(id, k));
+  arrival_ports_.assign(k, kInvalidPort);
+  active_.assign(k, true);
+  activation_rng_ = Rng(options_.activation_seed);
+  if (!options_.allow_model_mismatch && !robots_.empty()) {
+    const RobotAlgorithm& proto = *robots_.front();
+    if (proto.requires_global_comm() && options_.comm != CommModel::kGlobal) {
+      throw std::invalid_argument("engine: " + proto.name() +
+                                  " requires global communication");
+    }
+    if (proto.requires_neighborhood() && !options_.neighborhood_knowledge) {
+      throw std::invalid_argument("engine: " + proto.name() +
+                                  " requires 1-neighborhood knowledge");
+    }
+  }
+}
+
+std::string Engine::algorithm_name() const {
+  return robots_.empty() ? "(none)" : robots_.front()->name();
+}
+
+MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
+                         Round round, const EngineOptions& options,
+                         const std::vector<Port>& arrival_ports,
+                         const std::vector<bool>& active,
+                         const std::vector<RobotAlgorithm*>& robots) {
+  const bool neighborhood = options.neighborhood_knowledge;
+  const NodeRobots index = robots_by_node(conf);
+  std::shared_ptr<const std::vector<InfoPacket>> packets;
+  if (options.comm == CommModel::kGlobal) {
+    auto assembled = make_all_packets(g, conf, neighborhood, &index);
+    if (options.byzantine) options.byzantine->tamper(assembled);
+    packets = std::make_shared<const std::vector<InfoPacket>>(
+        std::move(assembled));
+  }
+
+  // Snapshot every robot's start-of-round persistent state once; co-located
+  // robots exchange these during Communicate.
+  std::vector<std::vector<std::uint8_t>> states(conf.robot_count());
+  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
+    if (!conf.alive(id)) continue;
+    BitWriter w;
+    robots[id - 1]->serialize(w);
+    states[id - 1] = w.bytes();
+  }
+
+  // Phase 1: assemble all views against the synchronous snapshot.
+  std::vector<RobotView> views(conf.robot_count());
+  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
+    if (!conf.alive(id) || !active[id - 1]) continue;
+    RobotView view = make_view(g, conf, id, round, options.comm,
+                               neighborhood, packets, &index);
+    view.arrival_port = arrival_ports[id - 1];
+    view.colocated_states.reserve(view.colocated.size());
+    for (const RobotId peer : view.colocated)
+      view.colocated_states.push_back(states[peer - 1]);
+    views[id - 1] = std::move(view);
+  }
+
+  // Phase 2: every robot computes; state mutations cannot leak into views.
+  MovePlan plan(conf.robot_count(), kInvalidPort);
+  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
+    if (!conf.alive(id) || !active[id - 1]) continue;
+    const Port p = robots[id - 1]->step(views[id - 1]);
+    if (p != kInvalidPort && p > views[id - 1].degree) {
+      std::ostringstream os;
+      os << "robot " << id << " chose invalid port " << p << " (degree "
+         << views[id - 1].degree << ") in round " << round;
+      throw std::runtime_error(os.str());
+    }
+    plan[id - 1] = options.byzantine
+                       ? options.byzantine->override_move(
+                             id, p, views[id - 1].degree, round)
+                       : p;
+  }
+  return plan;
+}
+
+MovePlan Engine::probe_plan(const Graph& candidate) const {
+  // Clone every robot so the dry run leaves persistent state untouched --
+  // the adversary predicts, it does not perturb.
+  std::vector<std::unique_ptr<RobotAlgorithm>> clones;
+  clones.reserve(robots_.size());
+  std::vector<RobotAlgorithm*> raw;
+  raw.reserve(robots_.size());
+  for (const auto& r : robots_) {
+    clones.push_back(r->clone());
+    raw.push_back(clones.back().get());
+  }
+  // The probe round number equals the round being constructed; the engine
+  // stores it in probe_round_ via the lambda installed in run().
+  return plan_on(candidate, conf_, probe_round_, options_, arrival_ports_,
+                 active_, raw);
+}
+
+MovePlan Engine::compute_plan(const Graph& g, Round round) {
+  std::vector<RobotAlgorithm*> raw;
+  raw.reserve(robots_.size());
+  for (const auto& r : robots_) raw.push_back(r.get());
+  return plan_on(g, conf_, round, options_, arrival_ports_, active_, raw);
+}
+
+void Engine::draw_activation() {
+  if (options_.activation == Activation::kSynchronous) {
+    std::fill(active_.begin(), active_.end(), true);
+    return;
+  }
+  if (options_.activation == Activation::kRoundRobin) {
+    std::fill(active_.begin(), active_.end(), false);
+    // Cycle to the next alive robot after the previous activation.
+    const std::size_t k = conf_.robot_count();
+    for (std::size_t step = 0; step < k; ++step) {
+      round_robin_cursor_ = (round_robin_cursor_ % k) + 1;  // 1..k
+      if (conf_.alive(static_cast<RobotId>(round_robin_cursor_))) {
+        active_[round_robin_cursor_ - 1] = true;
+        return;
+      }
+    }
+    return;  // nobody alive
+  }
+  bool any = false;
+  RobotId first_alive = kNoRobot;
+  for (RobotId id = 1; id <= conf_.robot_count(); ++id) {
+    const bool alive = conf_.alive(id);
+    if (alive && first_alive == kNoRobot) first_alive = id;
+    active_[id - 1] =
+        alive && activation_rng_.chance(options_.activation_probability);
+    any |= active_[id - 1];
+  }
+  // Fair scheduler guarantee: at least one alive robot acts per round.
+  if (!any && first_alive != kNoRobot) active_[first_alive - 1] = true;
+}
+
+RunResult Engine::run() {
+  RunResult res;
+  res.k = conf_.robot_count();
+  res.initial_occupied = conf_.occupied_count();
+  res.max_occupied = res.initial_occupied;
+
+  std::vector<bool> ever_occupied(conf_.node_count(), false);
+  std::size_t explored = 0;
+  for (const NodeId v : conf_.occupied_nodes()) {
+    ever_occupied[v] = true;
+    ++explored;
+  }
+  if (explored == conf_.node_count()) res.exploration_round = 0;
+
+  if (options_.record_progress)
+    res.occupied_per_round.push_back(conf_.occupied_count());
+
+  for (Round r = 0; r < options_.max_rounds; ++r) {
+    for (const RobotId id : faults_.crashes_at(r, CrashPhase::kBeforeCommunicate)) {
+      if (conf_.alive(id)) {
+        conf_.kill(id);
+        ++res.crashed;
+      }
+    }
+    if (conf_.is_dispersed()) {
+      res.dispersed = true;
+      res.rounds = r;
+      res.final_config = conf_;
+      res.max_memory_bits = meter_.max_bits();
+      res.explored_nodes = explored;
+      return res;
+    }
+
+    probe_round_ = r;
+    draw_activation();
+    if (adversary_.wants_plan_probe()) {
+      adversary_.set_plan_probe(
+          [this](const Graph& g) { return probe_plan(g); });
+    }
+    Graph g = adversary_.next_graph(r, conf_);
+    if (options_.validate_graphs) {
+      if (std::string err = validate_round_graph(g, conf_.node_count());
+          !err.empty()) {
+        throw std::runtime_error("adversary " + adversary_.name() +
+                                 " emitted invalid graph in round " +
+                                 std::to_string(r) + ": " + err);
+      }
+    }
+    if (options_.comm == CommModel::kGlobal) {
+      res.packets_sent += conf_.occupied_count();
+      const NodeRobots index = robots_by_node(conf_);
+      for (const InfoPacket& pkt : make_all_packets(
+               g, conf_, options_.neighborhood_knowledge, &index)) {
+        res.packet_bits_sent +=
+            packet_bit_size(pkt, conf_.robot_count(), conf_.node_count());
+      }
+    }
+
+    MovePlan plan = compute_plan(g, r);
+
+    bool crashed_this_round =
+        !faults_.crashes_at(r, CrashPhase::kBeforeCommunicate).empty();
+    for (const RobotId id : faults_.crashes_at(r, CrashPhase::kAfterCommunicate)) {
+      if (conf_.alive(id)) {
+        conf_.kill(id);
+        ++res.crashed;
+        plan[id - 1] = kInvalidPort;
+        crashed_this_round = true;
+      }
+    }
+
+    const Configuration before = conf_;
+    for (RobotId id = 1; id <= conf_.robot_count(); ++id) {
+      if (!conf_.alive(id)) continue;
+      const Port p = plan[id - 1];
+      if (p == kInvalidPort) continue;
+      const HalfEdge& he = g.half_edge(before.position(id), p);
+      conf_.set_position(id, he.to);
+      arrival_ports_[id - 1] = he.reverse_port;
+      ++res.total_moves;
+    }
+
+    for (RobotId id = 1; id <= conf_.robot_count(); ++id)
+      if (conf_.alive(id)) meter_.record(*robots_[id - 1]);
+
+    std::size_t newly = 0;
+    for (const NodeId v : conf_.occupied_nodes()) {
+      if (!ever_occupied[v]) {
+        ever_occupied[v] = true;
+        ++newly;
+        ++explored;
+      }
+    }
+    if (explored == conf_.node_count() &&
+        res.exploration_round == RunResult::kNeverExplored) {
+      res.exploration_round = r + 1;
+    }
+    if (newly == 0 && !crashed_this_round) ++res.stalled_rounds;
+    res.max_occupied = std::max(res.max_occupied, conf_.occupied_count());
+    if (options_.record_progress)
+      res.occupied_per_round.push_back(conf_.occupied_count());
+    if (options_.record_trace) {
+      RoundRecord rec;
+      rec.round = r;
+      rec.graph = std::move(g);
+      rec.before = before;
+      rec.moves = std::move(plan);
+      rec.after = conf_;
+      rec.newly_occupied = newly;
+      res.trace.add(std::move(rec));
+    }
+  }
+
+  res.dispersed = conf_.is_dispersed();
+  res.rounds = options_.max_rounds;
+  res.final_config = conf_;
+  res.max_memory_bits = meter_.max_bits();
+  res.explored_nodes = explored;
+  return res;
+}
+
+}  // namespace dyndisp

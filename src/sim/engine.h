@@ -1,0 +1,157 @@
+// The synchronous simulation engine: drives Communicate-Compute-Move rounds
+// over an adversary-controlled 1-interval connected dynamic graph until the
+// configuration is dispersed (or a round budget runs out).
+//
+// Round r (Section II + Section VII):
+//   0. robots scheduled to crash *before* Communicate vanish;
+//   1. the adversary emits G_r (trap adversaries may first dry-run the
+//      robots through the installed plan probe);
+//   2. Communicate: packets are assembled per the communication model and
+//      1-neighborhood switch, and every alive robot observes its view;
+//   3. Compute: each alive robot's step() returns an exit port;
+//   4. robots scheduled to crash *after* Communicate vanish (they computed,
+//      and other robots planned around them, but they do not move);
+//   5. Move: remaining moves are applied simultaneously; persistent memory
+//      is metered.
+// Dispersion is detected between rounds (global communication makes this
+// detectable by the robots themselves; for local algorithms the engine's
+// check is an external oracle that merely stops the clock).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "robots/configuration.h"
+#include "sim/algorithm.h"
+#include "sim/byzantine.h"
+#include "sim/fault.h"
+#include "sim/memory_meter.h"
+#include "sim/sensing.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dyndisp {
+
+/// Robot activation models. The paper is synchronous (every robot executes
+/// every CCM round); kRandomSubset is the semi-synchronous exploration the
+/// paper names as future work -- each round every alive robot is activated
+/// independently with a fixed probability (at least one robot is always
+/// activated so no round is entirely empty). Inactive robots neither
+/// compute nor move, but they remain physically present: they are sensed,
+/// counted, and their node still broadcasts its packet.
+enum class Activation {
+  kSynchronous,
+  kRandomSubset,
+  /// Exactly one alive robot is activated per round, cycling by ID -- the
+  /// sequential scheduler, the harshest classical weakening of synchrony
+  /// (every async execution is a sequence of single activations).
+  kRoundRobin,
+};
+
+struct EngineOptions {
+  CommModel comm = CommModel::kGlobal;
+  bool neighborhood_knowledge = true;
+  Activation activation = Activation::kSynchronous;
+  /// Per-robot, per-round activation probability under kRandomSubset.
+  double activation_probability = 1.0;
+  std::uint64_t activation_seed = 1;
+  /// Hard stop; impossibility benches use this as the containment horizon.
+  Round max_rounds = 100000;
+  /// Validate every adversary-emitted graph (connectivity, ports, |V|).
+  bool validate_graphs = true;
+  /// Record a full per-round trace (heavy).
+  bool record_trace = false;
+  /// Record per-round occupied counts (cheap) for progress plots.
+  bool record_progress = false;
+  /// Allow running an algorithm whose declared requirements exceed what the
+  /// options provide (used deliberately by the impossibility experiments).
+  bool allow_model_mismatch = false;
+  /// Byzantine liars (future-work exploration): tampers the packet layer
+  /// and/or overrides the liars' moves. Null = all robots honest.
+  std::shared_ptr<const ByzantineModel> byzantine;
+};
+
+struct RunResult {
+  bool dispersed = false;
+  Round rounds = 0;                 ///< Rounds executed until dispersion/stop.
+  std::size_t k = 0;                ///< Robots at the start.
+  std::size_t initial_occupied = 0; ///< Distinct occupied nodes in Conf_0.
+  std::size_t crashed = 0;          ///< Robots that crashed during the run.
+  std::size_t total_moves = 0;      ///< Edge traversals performed.
+  std::size_t max_memory_bits = 0;  ///< Peak persistent state, any robot.
+  std::size_t packets_sent = 0;     ///< Info packets broadcast (global comm).
+  std::size_t packet_bits_sent = 0; ///< Total wire bits of those packets.
+  /// Rounds in which no previously-unoccupied node was newly occupied while
+  /// a multiplicity node existed (Lemma 7 says 0 for Algorithm 4).
+  std::size_t stalled_rounds = 0;
+  /// Max occupied-node count ever reached (impossibility containment).
+  std::size_t max_occupied = 0;
+  /// Nodes visited (occupied at least once) over the whole run -- the
+  /// exploration metric of the paper's related problem ("a solution to
+  /// exploration is enough to solve DISPERSION but the reverse may not be
+  /// true": dispersion can finish with explored_nodes < n when k < n).
+  std::size_t explored_nodes = 0;
+  /// First round after which every node had been visited; kNeverExplored
+  /// when exploration did not complete within the run.
+  static constexpr Round kNeverExplored = static_cast<Round>(-1);
+  Round exploration_round = kNeverExplored;
+  Configuration final_config;
+  std::vector<std::size_t> occupied_per_round;  ///< If record_progress.
+  Trace trace;                                  ///< If record_trace.
+};
+
+class Engine {
+ public:
+  /// `initial.robot_count()` robots are instantiated through `factory`.
+  Engine(Adversary& adversary, Configuration initial,
+         const AlgorithmFactory& factory, EngineOptions options,
+         FaultSchedule faults = FaultSchedule::none());
+
+  /// Runs to dispersion or the round budget; returns the collected result.
+  RunResult run();
+
+  /// Name of the algorithm under simulation (from robot 1's instance).
+  std::string algorithm_name() const;
+
+ private:
+  Adversary& adversary_;
+  Configuration conf_;
+  EngineOptions options_;
+  FaultSchedule faults_;
+  std::vector<std::unique_ptr<RobotAlgorithm>> robots_;  // index id-1
+  MemoryMeter meter_;
+  Round probe_round_ = 0;  ///< Round whose graph the adversary is building.
+
+  /// Port through which each robot entered its current node (id-1 indexed).
+  std::vector<Port> arrival_ports_;
+
+  /// Activation mask for the round being executed (id-1 indexed); shared
+  /// with plan probes so the adversary sees the true schedule.
+  std::vector<bool> active_;
+  Rng activation_rng_{1};
+  std::size_t round_robin_cursor_ = 0;  ///< Last activated ID (kRoundRobin).
+
+  /// Dry-runs all alive robots' compute phases on a candidate graph.
+  MovePlan probe_plan(const Graph& candidate) const;
+
+  /// Runs the real compute phase on `g`, mutating robot state.
+  MovePlan compute_plan(const Graph& g, Round round);
+
+  /// Views are assembled for ALL robots first (so state exchange reflects
+  /// the synchronous start-of-round snapshot), then every robot steps.
+  static MovePlan plan_on(const Graph& g, const Configuration& conf,
+                          Round round, const EngineOptions& options,
+                          const std::vector<Port>& arrival_ports,
+                          const std::vector<bool>& active,
+                          const std::vector<RobotAlgorithm*>& robots);
+
+  /// Draws the activation mask for one round per options_.activation.
+  void draw_activation();
+};
+
+}  // namespace dyndisp

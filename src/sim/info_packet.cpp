@@ -1,0 +1,5 @@
+#include "sim/info_packet.h"
+
+// InfoPacket and NeighborInfo are plain aggregates; their construction from
+// a (graph, configuration) pair lives in sim/sensing.cpp, which owns the
+// model-visibility rules.

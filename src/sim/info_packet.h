@@ -1,0 +1,52 @@
+// Information packets (Section V of the paper).
+//
+// In each round, the robots on every occupied node locally agree that the
+// smallest-ID robot among them broadcasts one packet
+//   InfoPacket_r(v) = { a_i, count(a_i), N_r^occupied(v_i), P_r^occupied(v_i) }
+// containing the sender's ID, the robot count at its node, and -- when
+// 1-neighborhood knowledge is available -- which ports lead to occupied
+// neighbors along with the IDs/counts of the robots there. Under global
+// communication every robot receives every packet; under local communication
+// packets do not propagate (co-located robots see each other directly).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dyndisp {
+
+/// One occupied neighbor as described inside a packet: the port of the
+/// sender's node leading to it, plus who is standing there.
+struct NeighborInfo {
+  Port port = kInvalidPort;       ///< Port at the sender's node.
+  RobotId min_robot = kNoRobot;   ///< Smallest robot ID on the neighbor
+                                  ///< (the neighbor node's name, Obs. 1).
+  std::size_t count = 0;          ///< Robots on the neighbor (multiplicity).
+  std::vector<RobotId> robots;    ///< All robot IDs there, ascending.
+
+  bool operator==(const NeighborInfo&) const = default;
+};
+
+/// The per-node broadcast of Section V.
+///
+/// One addition to the paper's quadruple: `degree`, the sender node's degree
+/// in G_r. Algorithm 3 requires every robot to compute LeafNodeSet(ST) --
+/// the tree nodes with at least one EMPTY neighbor -- for remote nodes too,
+/// which needs |N_r(v)| alongside |N_r^occupied(v)|. The field costs
+/// O(log n) bits of *temporary* (within-round) memory only, so Lemma 8 is
+/// unaffected.
+struct InfoPacket {
+  RobotId sender = kNoRobot;      ///< Smallest robot ID on the node.
+  std::size_t count = 0;          ///< Robots on the node.
+  std::size_t degree = 0;         ///< Degree of the node in G_r.
+  std::vector<RobotId> robots;    ///< All robot IDs on the node, ascending.
+  /// Occupied neighbors in increasing port order. Empty when the sender has
+  /// no 1-neighborhood knowledge or no occupied neighbor.
+  std::vector<NeighborInfo> occupied_neighbors;
+
+  bool operator==(const InfoPacket&) const = default;
+};
+
+}  // namespace dyndisp

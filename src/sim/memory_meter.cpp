@@ -1,0 +1,14 @@
+#include "sim/memory_meter.h"
+
+#include <algorithm>
+
+namespace dyndisp {
+
+void MemoryMeter::record(const RobotAlgorithm& algo) {
+  BitWriter w;
+  algo.serialize(w);
+  max_bits_ = std::max(max_bits_, w.bit_count());
+  ++samples_;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,29 @@
+// Persistent-memory metering (Lemma 8 / Theorem 4 audit).
+//
+// After every round the engine serializes each alive robot's persistent
+// state; the meter tracks the maximum bit count over robots and rounds.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/algorithm.h"
+
+namespace dyndisp {
+
+class MemoryMeter {
+ public:
+  /// Meters one robot's state at the end of a round.
+  void record(const RobotAlgorithm& algo);
+
+  /// Maximum bits observed across all robots and rounds.
+  std::size_t max_bits() const { return max_bits_; }
+
+  /// Number of measurements taken.
+  std::size_t samples() const { return samples_; }
+
+ private:
+  std::size_t max_bits_ = 0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace dyndisp

@@ -1,0 +1,129 @@
+#include "sim/sensing.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace dyndisp {
+
+NodeRobots robots_by_node(const Configuration& conf) {
+  NodeRobots index(conf.node_count());
+  for (RobotId id = 1; id <= conf.robot_count(); ++id)
+    if (conf.alive(id)) index[conf.position(id)].push_back(id);
+  return index;
+}
+
+InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
+                       bool with_neighborhood, const NodeRobots* index) {
+  NodeRobots local;
+  if (index == nullptr) {
+    local = robots_by_node(conf);
+    index = &local;
+  }
+  InfoPacket pkt;
+  pkt.robots = (*index)[v];
+  assert(!pkt.robots.empty() && "packets originate from occupied nodes only");
+  pkt.sender = pkt.robots.front();
+  pkt.count = pkt.robots.size();
+  pkt.degree = g.degree(v);
+  if (with_neighborhood) {
+    for (Port p = 1; p <= g.degree(v); ++p) {
+      const NodeId w = g.neighbor(v, p);
+      const auto& robots_w = (*index)[w];
+      if (robots_w.empty()) continue;
+      NeighborInfo info;
+      info.port = p;
+      info.min_robot = robots_w.front();
+      info.count = robots_w.size();
+      info.robots = robots_w;
+      pkt.occupied_neighbors.push_back(std::move(info));
+    }
+  }
+  return pkt;
+}
+
+std::vector<InfoPacket> make_all_packets(const Graph& g,
+                                         const Configuration& conf,
+                                         bool with_neighborhood,
+                                         const NodeRobots* index) {
+  NodeRobots local;
+  if (index == nullptr) {
+    local = robots_by_node(conf);
+    index = &local;
+  }
+  std::vector<InfoPacket> packets;
+  for (NodeId v = 0; v < conf.node_count(); ++v)
+    if (!(*index)[v].empty())
+      packets.push_back(make_packet(g, conf, v, with_neighborhood, index));
+  // Assembly order is node-ascending; re-sort by sender ID for a canonical
+  // order that does not leak node identities.
+  std::sort(packets.begin(), packets.end(),
+            [](const InfoPacket& a, const InfoPacket& b) {
+              return a.sender < b.sender;
+            });
+  return packets;
+}
+
+std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,
+                            std::size_t n) {
+  const std::size_t id_bits = bit_width_for(k + 1);
+  const std::size_t port_bits = bit_width_for(n);
+  std::size_t bits = id_bits;              // sender
+  bits += id_bits;                         // count
+  bits += port_bits;                       // degree
+  bits += packet.robots.size() * id_bits;  // co-located IDs
+  for (const NeighborInfo& nb : packet.occupied_neighbors) {
+    bits += port_bits;                     // port
+    bits += id_bits;                       // min_robot
+    bits += id_bits;                       // count
+    bits += nb.robots.size() * id_bits;    // IDs on the neighbor
+  }
+  return bits;
+}
+
+RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
+                    Round round, CommModel comm, bool neighborhood,
+                    std::shared_ptr<const std::vector<InfoPacket>> packets,
+                    const NodeRobots* index) {
+  assert(conf.alive(id));
+  NodeRobots local;
+  if (index == nullptr) {
+    local = robots_by_node(conf);
+    index = &local;
+  }
+  const NodeId v = conf.position(id);
+
+  RobotView view;
+  view.self = id;
+  view.round = round;
+  view.k = conf.robot_count();
+  view.degree = g.degree(v);
+  view.colocated = (*index)[v];
+  view.node_count = view.colocated.size();
+
+  view.neighborhood_knowledge = neighborhood;
+  if (neighborhood) {
+    for (Port p = 1; p <= g.degree(v); ++p) {
+      const NodeId w = g.neighbor(v, p);
+      const auto& robots_w = (*index)[w];
+      if (robots_w.empty()) {
+        view.empty_ports.push_back(p);
+        continue;
+      }
+      NeighborInfo info;
+      info.port = p;
+      info.robots = robots_w;
+      info.min_robot = info.robots.front();
+      info.count = info.robots.size();
+      view.occupied_neighbors.push_back(std::move(info));
+    }
+    view.empty_neighbor_count = view.empty_ports.size();
+  }
+
+  view.global_comm = comm == CommModel::kGlobal;
+  if (view.global_comm) view.shared_packets = std::move(packets);
+  return view;
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,115 @@
+// Sensing: assembles exactly what the model lets each robot observe.
+//
+// The combination of the two switches reproduces the paper's four model
+// rows (Table I):
+//   * CommModel::Local  + neighborhood  -> Theorem 1 setting (impossible)
+//   * CommModel::Global + !neighborhood -> Theorem 2 setting (impossible)
+//   * CommModel::Global + neighborhood  -> Algorithm 4 setting (Theta(k))
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "robots/configuration.h"
+#include "sim/info_packet.h"
+#include "util/types.h"
+
+namespace dyndisp {
+
+enum class CommModel {
+  kLocal,   ///< A robot talks only to robots on its own node.
+  kGlobal,  ///< A robot talks to every robot in the graph.
+};
+
+/// Everything one robot observes in the Communicate phase of one round.
+struct RobotView {
+  RobotId self = kNoRobot;
+  Round round = 0;
+  std::size_t k = 0;              ///< Total number of robots (IDs in [1,k]).
+  std::size_t degree = 0;         ///< Degree of the robot's node in G_r.
+  std::size_t node_count = 0;     ///< Robots on the robot's node.
+  std::vector<RobotId> colocated; ///< Alive robots here (incl. self), ascending.
+  /// Port of the CURRENT node through which this robot entered when it last
+  /// moved (Section II: "it is aware of ... the port of v it used to enter
+  /// v"); kInvalidPort if the robot has not moved yet or stayed last round.
+  /// Meaningful for static-graph algorithms; on dynamic graphs the edge may
+  /// no longer exist.
+  Port arrival_port = kInvalidPort;
+  /// Serialized persistent states of the co-located robots, ascending by
+  /// robot ID (parallel to `colocated`), as at the START of the round.
+  /// Local communication lets same-node robots exchange arbitrary state;
+  /// the DFS baselines read the settled robot's parent/rotor through this.
+  std::vector<std::vector<std::uint8_t>> colocated_states;
+
+  bool neighborhood_knowledge = false;
+  /// Occupied neighbors of the robot's own node, port-ascending.
+  /// Populated only when neighborhood_knowledge is true.
+  std::vector<NeighborInfo> occupied_neighbors;
+  /// Number of empty (unoccupied) neighbors of the robot's own node.
+  /// Populated only when neighborhood_knowledge is true.
+  std::size_t empty_neighbor_count = 0;
+  /// Ports of the robot's node leading to empty neighbors, ascending.
+  std::vector<Port> empty_ports;
+
+  bool global_comm = false;
+  /// All packets in the system, ascending by sender ID (one per occupied
+  /// node); non-null only when global_comm is true. Shared across the
+  /// round's views (k robots receive the same broadcast; copying it per
+  /// robot would make every round Theta(k^2) in packet volume).
+  std::shared_ptr<const std::vector<InfoPacket>> shared_packets;
+
+  /// The packet set (empty when local communication is in effect).
+  const std::vector<InfoPacket>& packets() const {
+    static const std::vector<InfoPacket> kEmpty;
+    return shared_packets ? *shared_packets : kEmpty;
+  }
+};
+
+/// Per-round index: node -> alive robot IDs there, ascending. Building it
+/// once per round turns the O(k) Configuration::robots_at scans inside
+/// packet/view assembly into O(1) lookups.
+using NodeRobots = std::vector<std::vector<RobotId>>;
+NodeRobots robots_by_node(const Configuration& conf);
+
+/// Builds the packet broadcast by the (robots on the) node `v`.
+/// `with_neighborhood` controls whether neighbor information is included.
+/// `index` (optional) is a robots_by_node() result for this configuration.
+InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
+                       bool with_neighborhood,
+                       const NodeRobots* index = nullptr);
+
+/// Builds all packets (one per occupied node), ascending by sender.
+std::vector<InfoPacket> make_all_packets(const Graph& g,
+                                         const Configuration& conf,
+                                         bool with_neighborhood,
+                                         const NodeRobots* index = nullptr);
+
+/// Wire size of one packet in bits, for the communication-cost metric:
+/// robot IDs and counts cost ceil(log2(k+1)) bits, ports and degrees
+/// ceil(log2(n)) bits (n = node count bounds both). The robot-ID lists are
+/// counted in full, matching the paper's "full information" packets.
+std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,
+                            std::size_t n);
+
+/// Assembles the view of robot `id` standing on its node in `g`. The packet
+/// set is attached by reference-counted handle (shared across all robots of
+/// the round). Arrival ports and co-located states are filled in by the
+/// engine, which owns that information.
+RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
+                    Round round, CommModel comm, bool neighborhood,
+                    std::shared_ptr<const std::vector<InfoPacket>> packets,
+                    const NodeRobots* index = nullptr);
+
+/// Convenience overload copying a plain packet vector (tests/examples).
+inline RobotView make_view(const Graph& g, const Configuration& conf,
+                           RobotId id, Round round, CommModel comm,
+                           bool neighborhood,
+                           const std::vector<InfoPacket>& packets) {
+  return make_view(g, conf, id, round, comm, neighborhood,
+                   std::make_shared<const std::vector<InfoPacket>>(packets));
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,43 @@
+#include "util/bits.h"
+
+#include <cassert>
+
+namespace dyndisp {
+
+unsigned bit_width_for(std::uint64_t n) {
+  if (n <= 2) return 1;
+  unsigned w = 0;
+  std::uint64_t v = n - 1;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+void BitWriter::write(std::uint64_t value, unsigned bits) {
+  assert(bits <= 64);
+  for (unsigned i = bits; i-- > 0;) {
+    const bool bit = ((value >> i) & 1u) != 0;
+    const std::size_t byte_index = bit_count_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
+    ++bit_count_;
+  }
+}
+
+std::uint64_t BitReader::read(unsigned bits) {
+  assert(bits <= 64);
+  assert(cursor_ + bits <= bit_count_);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::size_t byte_index = cursor_ / 8;
+    const bool bit =
+        (bytes_[byte_index] >> (7 - cursor_ % 8)) & 1u;
+    value = (value << 1) | (bit ? 1u : 0u);
+    ++cursor_;
+  }
+  return value;
+}
+
+}  // namespace dyndisp

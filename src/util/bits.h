@@ -1,0 +1,63 @@
+// Bit-level serialization used to meter the persistent memory of robots.
+//
+// The paper counts memory as "the number of bits stored at each robot
+// *between* rounds" (Section II). To audit Lemma 8 (Theta(log k) bits) the
+// simulator requires every robot algorithm to serialize its persistent state
+// into a BitWriter at the end of each round; the produced bit count is the
+// metered memory. Temporary within-round state is, per the model, free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dyndisp {
+
+/// Number of bits needed to represent values in [0, n); ceil(log2(n)), >= 1.
+unsigned bit_width_for(std::uint64_t n);
+
+/// Append-only bit sink.
+class BitWriter {
+ public:
+  /// Writes the low `bits` bits of `value`, most-significant first.
+  void write(std::uint64_t value, unsigned bits);
+
+  /// Writes a single flag bit.
+  void write_bool(bool b) { write(b ? 1 : 0, 1); }
+
+  /// Total bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Packed payload (last byte zero-padded).
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential reader over a BitWriter payload.
+class BitReader {
+ public:
+  explicit BitReader(const BitWriter& w)
+      : bytes_(w.bytes()), bit_count_(w.bit_count()) {}
+
+  /// Reads a raw byte payload (e.g., an exchanged peer state); all
+  /// bytes.size()*8 bits are addressable.
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes), bit_count_(bytes.size() * 8) {}
+
+  /// Reads `bits` bits written most-significant first.
+  std::uint64_t read(unsigned bits);
+
+  bool read_bool() { return read(1) != 0; }
+
+  /// Bits remaining.
+  std::size_t remaining() const { return bit_count_ - cursor_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t bit_count_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dyndisp

@@ -1,0 +1,94 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dyndisp {
+namespace {
+
+bool looks_like_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; else a switch.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  if (values_.count(key)) {
+    used_.insert(key);
+    return true;
+  }
+  return false;
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& def) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0')
+    throw std::invalid_argument("--" + key + " expects an integer, got " + v);
+  return parsed;
+}
+
+std::uint64_t CliArgs::get_uint(const std::string& key,
+                                std::uint64_t def) const {
+  const std::int64_t v = get_int(key, static_cast<std::int64_t>(def));
+  if (v < 0)
+    throw std::invalid_argument("--" + key + " expects a non-negative value");
+  return static_cast<std::uint64_t>(v);
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == nullptr || *end != '\0')
+    throw std::invalid_argument("--" + key + " expects a number, got " + v);
+  return parsed;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return def;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("--" + key + " expects a boolean, got " + v);
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_)
+    if (!used_.count(key)) out.push_back(key);
+  return out;
+}
+
+}  // namespace dyndisp

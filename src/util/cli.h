@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the tools: supports --key=value,
+// --key value, and bare --switch forms, with typed accessors and an
+// unknown-flag check so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dyndisp {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input
+  /// (non-flag positional arguments are rejected).
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw std::invalid_argument when the
+  /// present value does not parse.
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  std::uint64_t get_uint(const std::string& key, std::uint64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Keys that were provided but never read; used to reject typos after
+  /// all gets are done.
+  std::vector<std::string> unused() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace dyndisp

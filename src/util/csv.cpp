@@ -1,0 +1,34 @@
+#include "util/csv.h"
+
+namespace dyndisp {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (out_) write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) { write_row(row); }
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,30 @@
+// Minimal CSV writer so benches can emit machine-readable series alongside
+// the human-readable ASCII tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dyndisp {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True when the file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  std::ofstream out_;
+
+  void write_row(const std::vector<std::string>& row);
+};
+
+/// Escapes one CSV field (quotes fields containing separators/quotes).
+std::string csv_escape(const std::string& field);
+
+}  // namespace dyndisp

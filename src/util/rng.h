@@ -1,0 +1,57 @@
+// Deterministic, splittable pseudo-random number generator.
+//
+// All stochastic pieces of the library (random graph adversaries, placements,
+// crash schedules) consume this generator so that every experiment is
+// reproducible from a single seed. The engine is xoshiro256** which is small,
+// fast, and has no global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dyndisp {
+
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0xD15CE55E5EEDULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; `v` must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dyndisp

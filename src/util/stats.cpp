@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dyndisp {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  assert(!empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  assert(!empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::mean() const {
+  assert(!empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  const std::size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  const double m = mean();
+  const double var =
+      (sum_sq_ - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::percentile(double p) const {
+  assert(!empty());
+  ensure_sorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx == 0) idx = 1;
+  if (idx > samples_.size()) idx = samples_.size();
+  return samples_[idx - 1];
+}
+
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  assert(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace dyndisp

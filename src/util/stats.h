@@ -1,0 +1,40 @@
+// Summary statistics over experiment samples (rounds, moves, bits, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dyndisp {
+
+/// Online accumulator plus exact percentiles (keeps all samples).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (0 for fewer than 2 samples).
+  double stddev() const;
+  /// Exact p-th percentile by nearest-rank, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double sum() const { return sum_; }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+
+  void ensure_sorted() const;
+};
+
+/// Least-squares slope of y against x; used to check linear O(k) scaling.
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dyndisp

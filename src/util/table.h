@@ -1,0 +1,31 @@
+// ASCII table rendering for bench output that mirrors the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dyndisp {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with box-drawing separators.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string fmt_double(double v, int digits = 2);
+
+}  // namespace dyndisp

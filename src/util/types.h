@@ -1,0 +1,34 @@
+// Fundamental scalar types shared across the dyndisp library.
+//
+// The paper's model (Section II) uses:
+//   * anonymous nodes            -> NodeId exists only inside the simulator;
+//                                   algorithms never see it directly,
+//   * port numbers in [1, deg(v)]-> Port, 1-based on the wire, with
+//                                   kInvalidPort denoting "no port",
+//   * robot IDs in [1, k]        -> RobotId, 1-based,
+//   * synchronous rounds         -> Round.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dyndisp {
+
+/// Simulator-internal node index in [0, n). Algorithms must not consume raw
+/// NodeIds except through the sensing interfaces (nodes are anonymous).
+using NodeId = std::uint32_t;
+
+/// Robot identifier in [1, k] as in the paper; 0 is reserved as "none".
+using RobotId = std::uint32_t;
+
+/// Port label in [1, deg(v)]; 0 is reserved as "none".
+using Port = std::uint32_t;
+
+/// Round counter r >= 0.
+using Round = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr RobotId kNoRobot = 0;
+inline constexpr Port kInvalidPort = 0;
+
+}  // namespace dyndisp

@@ -1,0 +1,120 @@
+#include "viz/svg.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace dyndisp::viz {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Point {
+  double x, y;
+};
+
+/// Nodes on a circle, node 0 at 12 o'clock, clockwise.
+std::vector<Point> circle_layout(std::size_t n, double size) {
+  const double cx = size / 2, cy = size / 2;
+  const double radius = size * 0.40;
+  std::vector<Point> pts(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const double angle =
+        -kPi / 2 + 2 * kPi * static_cast<double>(v) / static_cast<double>(n);
+    pts[v] = {cx + radius * std::cos(angle), cy + radius * std::sin(angle)};
+  }
+  return pts;
+}
+
+void render_body(std::ostringstream& os, const Graph& g,
+                 const Configuration& conf, const std::vector<Point>& pts,
+                 double node_radius) {
+  for (const auto& e : g.edges()) {
+    os << "<line x1=\"" << pts[e.u].x << "\" y1=\"" << pts[e.u].y
+       << "\" x2=\"" << pts[e.v].x << "\" y2=\"" << pts[e.v].y
+       << "\" stroke=\"#b8b8b8\" stroke-width=\"1.5\"/>\n";
+  }
+  const auto occ = conf.occupancy();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const char* fill = occ[v] == 0 ? "#f4f4f4"
+                       : occ[v] == 1 ? "#8fc7ff"
+                                     : "#ff9b8f";
+    os << "<circle cx=\"" << pts[v].x << "\" cy=\"" << pts[v].y << "\" r=\""
+       << node_radius << "\" fill=\"" << fill
+       << "\" stroke=\"#444\" stroke-width=\"1\"/>\n";
+    os << "<text x=\"" << pts[v].x << "\" y=\"" << pts[v].y + node_radius / 3
+       << "\" text-anchor=\"middle\" font-size=\"" << node_radius
+       << "\" font-family=\"sans-serif\">";
+    if (occ[v] > 0) {
+      const auto robots = conf.robots_at(v);
+      os << 'r' << robots.front();
+      if (occ[v] > 1) os << "+" << occ[v] - 1;
+    } else {
+      os << v;
+    }
+    os << "</text>\n";
+  }
+}
+
+std::string svg_open(std::size_t size) {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+     << "\" height=\"" << size << "\" viewBox=\"0 0 " << size << ' ' << size
+     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_frame(const Graph& g, const Configuration& conf,
+                         const SvgOptions& options) {
+  const auto pts =
+      circle_layout(g.node_count(), static_cast<double>(options.size));
+  const double node_radius = static_cast<double>(options.size) /
+                             (3.0 * static_cast<double>(g.node_count()) + 10);
+  std::ostringstream os;
+  os << svg_open(options.size);
+  render_body(os, g, conf, pts, std::max(8.0, node_radius));
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string render_animation(const Trace& trace, const SvgOptions& options) {
+  if (trace.empty()) return {};
+  const std::size_t n = trace.at(0).graph.node_count();
+  const auto pts = circle_layout(n, static_cast<double>(options.size));
+  const double node_radius =
+      std::max(8.0, static_cast<double>(options.size) /
+                        (3.0 * static_cast<double>(n) + 10));
+  const double total =
+      options.seconds_per_round * static_cast<double>(trace.size());
+
+  std::ostringstream os;
+  os << svg_open(options.size);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const RoundRecord& rec = trace.at(i);
+    os << "<g opacity=\"" << (i == 0 ? 1 : 0) << "\">\n";
+    // Cycle layers: visible during [i, i+1) * seconds_per_round, repeating.
+    const double begin_frac =
+        static_cast<double>(i) / static_cast<double>(trace.size());
+    const double end_frac =
+        static_cast<double>(i + 1) / static_cast<double>(trace.size());
+    os << "<animate attributeName=\"opacity\" dur=\"" << total
+       << "s\" repeatCount=\"indefinite\" calcMode=\"discrete\" keyTimes=\"0;"
+       << begin_frac;
+    if (i + 1 < trace.size()) {
+      os << ';' << end_frac << ";1\" values=\"0;1;0;0\"/>\n";
+    } else {
+      os << ";1\" values=\"0;1;1\"/>\n";
+    }
+    render_body(os, rec.graph, rec.before, pts, node_radius);
+    os << "<text x=\"12\" y=\"24\" font-size=\"16\" "
+          "font-family=\"sans-serif\">round "
+       << rec.round << "</text>\n";
+    os << "</g>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace dyndisp::viz

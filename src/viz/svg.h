@@ -1,0 +1,30 @@
+// Self-contained SVG rendering of executions: a circular node layout with
+// edges, occupancy-colored nodes, and robot counts, either as one static
+// frame per round or as a single SMIL-animated SVG that steps through the
+// whole run. No external dependencies; the output opens in any browser.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.h"
+#include "robots/configuration.h"
+#include "sim/trace.h"
+
+namespace dyndisp::viz {
+
+struct SvgOptions {
+  std::size_t size = 480;          ///< Canvas width/height in px.
+  double seconds_per_round = 1.0;  ///< Animation dwell time per round.
+};
+
+/// One static frame: graph + configuration.
+std::string render_frame(const Graph& g, const Configuration& conf,
+                         const SvgOptions& options = {});
+
+/// The whole trace as one animated SVG (one layer per round, cycled with
+/// SMIL opacity animations). Returns a static frame when the trace has a
+/// single round; empty string for an empty trace.
+std::string render_animation(const Trace& trace, const SvgOptions& options = {});
+
+}  // namespace dyndisp::viz

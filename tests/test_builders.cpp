@@ -1,0 +1,214 @@
+// Tests for the graph family builders, including parameterized sweeps over
+// sizes checking structural invariants of every family.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/builders.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+namespace {
+
+using builders::binary_tree;
+using builders::complete;
+using builders::complete_bipartite;
+using builders::cycle;
+using builders::grid;
+using builders::hypercube;
+using builders::lollipop;
+using builders::path;
+using builders::random_connected;
+using builders::random_connected_p;
+using builders::random_tree;
+using builders::star;
+using builders::torus;
+
+TEST(Builders, PathStructure) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Builders, SingleNodePath) {
+  const Graph g = path(1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Builders, CycleStructure) {
+  const Graph g = cycle(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Builders, StarStructure) {
+  const Graph g = star(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Builders, CompleteStructure) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Builders, CompleteBipartiteStructure) {
+  const Graph g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(4), 2u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(Builders, GridStructure) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (1,1)
+  EXPECT_EQ(diameter(g), 5u);   // (3-1)+(4-1)
+}
+
+TEST(Builders, TorusStructure) {
+  const Graph g = torus(3, 3);
+  EXPECT_EQ(g.node_count(), 9u);
+  EXPECT_EQ(g.edge_count(), 18u);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Builders, HypercubeStructure) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Builders, BinaryTreeStructure) {
+  const Graph g = binary_tree(7);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(6), 1u);
+}
+
+TEST(Builders, LollipopStructure) {
+  const Graph g = lollipop(4, 3);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 6u + 3u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(6), 1u);  // tail end
+}
+
+TEST(Builders, RandomTreeIsTree) {
+  Rng rng(101);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 17u, 64u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_TRUE(is_tree(g)) << "n=" << n;
+  }
+}
+
+TEST(Builders, RandomTreesVary) {
+  Rng rng(5);
+  const Graph a = random_tree(12, rng);
+  const Graph b = random_tree(12, rng);
+  EXPECT_FALSE(a == b);  // overwhelmingly likely distinct
+}
+
+TEST(Builders, RandomConnectedEdgeBudget) {
+  Rng rng(7);
+  const Graph g = random_connected(20, 15, rng);
+  EXPECT_EQ(g.edge_count(), 19u + 15u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Builders, RandomConnectedClampsToCompleteGraph) {
+  Rng rng(7);
+  const Graph g = random_connected(5, 1000, rng);
+  EXPECT_EQ(g.edge_count(), 10u);  // K_5
+}
+
+TEST(Builders, RandomConnectedPPointMasses) {
+  Rng rng(9);
+  const Graph tree_only = random_connected_p(15, 0.0, rng);
+  EXPECT_TRUE(is_tree(tree_only));
+  const Graph full = random_connected_p(8, 1.0, rng);
+  EXPECT_EQ(full.edge_count(), 28u);  // K_8
+}
+
+// ---- Parameterized sweep: every family yields valid connected graphs ----
+
+struct FamilyCase {
+  const char* name;
+  std::size_t n_expected;
+  Graph (*make)();
+};
+
+Graph make_path() { return path(9); }
+Graph make_cycle() { return cycle(9); }
+Graph make_star() { return star(9); }
+Graph make_complete() { return complete(9); }
+Graph make_bipartite() { return complete_bipartite(4, 5); }
+Graph make_grid() { return grid(3, 3); }
+Graph make_torus() { return torus(3, 3); }
+Graph make_hypercube() { return hypercube(3); }  // n = 8
+Graph make_btree() { return binary_tree(9); }
+Graph make_lollipop() { return lollipop(5, 4); }
+
+class BuilderFamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(BuilderFamilyTest, ValidAndConnected) {
+  const Graph g = GetParam().make();
+  EXPECT_EQ(g.node_count(), GetParam().n_expected);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, BuilderFamilyTest,
+    ::testing::Values(FamilyCase{"path", 9, make_path},
+                      FamilyCase{"cycle", 9, make_cycle},
+                      FamilyCase{"star", 9, make_star},
+                      FamilyCase{"complete", 9, make_complete},
+                      FamilyCase{"bipartite", 9, make_bipartite},
+                      FamilyCase{"grid", 9, make_grid},
+                      FamilyCase{"torus", 9, make_torus},
+                      FamilyCase{"hypercube", 8, make_hypercube},
+                      FamilyCase{"btree", 9, make_btree},
+                      FamilyCase{"lollipop", 9, make_lollipop}),
+    [](const ::testing::TestParamInfo<FamilyCase>& param_info) {
+      return param_info.param.name;
+    });
+
+// Random families across sizes: validity + connectivity + determinism.
+class RandomGraphSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomGraphSweep, ValidConnectedDeterministic) {
+  const std::size_t n = GetParam();
+  Rng rng1(n), rng2(n);
+  const Graph a = random_connected(n, n / 2, rng1);
+  const Graph b = random_connected(n, n / 2, rng2);
+  EXPECT_TRUE(a.validate().empty());
+  EXPECT_TRUE(is_connected(a));
+  EXPECT_EQ(a, b);  // same seed, same graph
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomGraphSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 33, 64, 100));
+
+}  // namespace
+}  // namespace dyndisp

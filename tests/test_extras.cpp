@@ -1,0 +1,237 @@
+// Tests for the auxiliary surfaces: the CLI flag parser, JSON trace export,
+// the dynamic-ring adversary (the related-work setting), and the analysis
+// checkers' failure paths.
+#include <gtest/gtest.h>
+
+#include "analysis/verify.h"
+#include "core/dispersion.h"
+#include "dynamic/ring_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "dynamic/validator.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+
+namespace dyndisp {
+namespace {
+
+// ---- CLI ----
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, KeyEqualsValueForm) {
+  const CliArgs args = parse({"--n=12", "--algorithm=alg4"});
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_EQ(args.get("algorithm", ""), "alg4");
+}
+
+TEST(Cli, KeySpaceValueForm) {
+  const CliArgs args = parse({"--n", "7", "--family", "grid"});
+  EXPECT_EQ(args.get_uint("n", 0), 7u);
+  EXPECT_EQ(args.get("family", ""), "grid");
+}
+
+TEST(Cli, BareSwitch) {
+  const CliArgs args = parse({"--help", "--n", "3"});
+  EXPECT_TRUE(args.has("help"));
+  EXPECT_TRUE(args.get_bool("help", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const CliArgs args = parse({});
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get("x", "dft"), "dft");
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.5), 0.5);
+  EXPECT_FALSE(args.get_bool("flag", false));
+}
+
+TEST(Cli, TypedParseErrors) {
+  const CliArgs args = parse({"--n", "abc", "--p", "zz", "--b", "maybe"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("p", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Cli, NegativeRejectedByUint) {
+  const CliArgs args = parse({"--n", "-3"});
+  EXPECT_THROW(args.get_uint("n", 0), std::invalid_argument);
+  EXPECT_EQ(args.get_int("n", 0), -3);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"oops"}), std::invalid_argument);
+}
+
+TEST(Cli, UnusedTracksTypos) {
+  const CliArgs args = parse({"--good", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("good", 0), 1);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// ---- trace JSON ----
+
+TEST(TraceJson, WellFormedAndComplete) {
+  StaticAdversary adv(builders::path(4));
+  EngineOptions opt;
+  opt.record_trace = true;
+  opt.max_rounds = 10;
+  Engine engine(adv, placement::rooted(4, 3), core::dispersion_factory(),
+                opt);
+  const RunResult r = engine.run();
+  ASSERT_GE(r.trace.size(), 1u);
+  const std::string json = trace_to_json(r.trace);
+  // Structural smoke checks without a JSON dependency.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"rounds\":["), std::string::npos);
+  EXPECT_NE(json.find("\"graph\":{\"n\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"newly_occupied\":"), std::string::npos);
+  // Balanced brackets.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceJson, DeadRobotsSerializeAsNull) {
+  // Crash a robot in round 1 while a multiplicity remains, so a recorded
+  // round's configuration contains a dead robot.
+  StaticAdversary adv(builders::path(5));
+  EngineOptions opt;
+  opt.record_trace = true;
+  opt.max_rounds = 20;
+  Engine engine(adv, placement::rooted(5, 4), core::dispersion_factory(), opt,
+                FaultSchedule({{1, 3, CrashPhase::kBeforeCommunicate}}));
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_NE(trace_to_json(r.trace).find("null"), std::string::npos);
+}
+
+// ---- ring adversary ----
+
+TEST(RingAdversary, EmitsValidConnectedGraphs) {
+  for (const auto strategy :
+       {RingAdversary::Strategy::kRandomEdge,
+        RingAdversary::Strategy::kWorstEdge,
+        RingAdversary::Strategy::kFixedRing}) {
+    RingAdversary adv(9, strategy);
+    Rng rng(4);
+    Configuration conf = placement::uniform_random(9, 6, rng);
+    for (Round r = 0; r < 15; ++r) {
+      const Graph g = adv.next_graph(r, conf);
+      ASSERT_TRUE(validate_round_graph(g, 9).empty());
+      // A ring minus at most one edge.
+      EXPECT_GE(g.edge_count(), 8u);
+      EXPECT_LE(g.edge_count(), 9u);
+      for (NodeId v = 0; v < 9; ++v) EXPECT_LE(g.degree(v), 2u);
+    }
+  }
+}
+
+TEST(RingAdversary, FixedRingKeepsAllEdges) {
+  RingAdversary adv(6, RingAdversary::Strategy::kFixedRing);
+  const Configuration conf = placement::rooted(6, 3);
+  EXPECT_EQ(adv.next_graph(0, conf).edge_count(), 6u);
+}
+
+TEST(RingAdversary, WorstEdgeCutsBetweenMultAndNearestEmpty) {
+  // Robots {1,2}@0, 3@1, 4@2: nearest empty from node 0 in the full ring is
+  // node 5 (one hop counterclockwise). The worst edge to remove is (5,0),
+  // forcing travel through the occupied side.
+  RingAdversary adv(6, RingAdversary::Strategy::kWorstEdge);
+  const Configuration conf = placement::explicit_positions(6, {0, 0, 1, 2});
+  const Graph g = adv.next_graph(0, conf);
+  EXPECT_FALSE(g.has_edge(5, 0));
+  EXPECT_EQ(g.edge_count(), 5u);
+}
+
+TEST(RingAdversary, AlgorithmFourDispersesOnDynamicRings) {
+  for (const auto strategy : {RingAdversary::Strategy::kRandomEdge,
+                              RingAdversary::Strategy::kWorstEdge}) {
+    const std::size_t n = 12, k = 9;
+    RingAdversary adv(n, strategy, 7);
+    EngineOptions opt;
+    opt.max_rounds = 10 * k;
+    opt.record_progress = true;
+    Engine engine(adv, placement::rooted(n, k), core::dispersion_factory(),
+                  opt);
+    const RunResult r = engine.run();
+    EXPECT_TRUE(r.dispersed);
+    EXPECT_TRUE(analysis::check_round_bound(r).empty())
+        << analysis::check_round_bound(r);
+    EXPECT_TRUE(analysis::check_progress_every_round(r).empty());
+  }
+}
+
+// ---- analysis checkers: failure paths ----
+
+RunResult fake_result(std::size_t k, std::vector<std::size_t> occ,
+                      bool dispersed, Round rounds, std::size_t bits) {
+  RunResult r;
+  r.k = k;
+  r.occupied_per_round = std::move(occ);
+  r.initial_occupied = r.occupied_per_round.empty()
+                           ? 1
+                           : r.occupied_per_round.front();
+  r.dispersed = dispersed;
+  r.rounds = rounds;
+  r.max_memory_bits = bits;
+  return r;
+}
+
+TEST(Verify, ProgressCheckerFlagsStalls) {
+  const RunResult bad = fake_result(5, {2, 3, 3, 5}, true, 3, 3);
+  EXPECT_NE(analysis::check_progress_every_round(bad).find("round 1"),
+            std::string::npos);
+  const RunResult good = fake_result(5, {2, 3, 4, 5}, true, 3, 3);
+  EXPECT_TRUE(analysis::check_progress_every_round(good).empty());
+}
+
+TEST(Verify, ProgressCheckerNeedsRecording) {
+  const RunResult r = fake_result(5, {}, true, 3, 3);
+  EXPECT_FALSE(analysis::check_progress_every_round(r).empty());
+}
+
+TEST(Verify, MonotoneCheckerFlagsDrops) {
+  const RunResult bad = fake_result(5, {3, 4, 2}, true, 2, 3);
+  EXPECT_FALSE(analysis::check_occupied_monotone(bad).empty());
+}
+
+TEST(Verify, RoundBoundFlagsSlowRuns) {
+  RunResult r = fake_result(8, {1, 2}, true, 20, 4);
+  EXPECT_NE(analysis::check_round_bound(r).find("bound"), std::string::npos);
+  r.rounds = 7;
+  EXPECT_TRUE(analysis::check_round_bound(r).empty());
+  r.dispersed = false;
+  EXPECT_FALSE(analysis::check_round_bound(r).empty());
+}
+
+TEST(Verify, MemoryBoundRespectsSlack) {
+  RunResult r = fake_result(8, {1}, true, 1, 6);
+  EXPECT_FALSE(analysis::check_memory_bound(r).empty());  // bound is 4
+  EXPECT_TRUE(analysis::check_memory_bound(r, 2).empty());
+}
+
+TEST(Verify, FaultyBoundChecksFinalConfig) {
+  RunResult r = fake_result(6, {1}, true, 3, 3);
+  r.crashed = 2;
+  r.final_config = Configuration(8, {0, 1, 2, 3, 4, 5});
+  EXPECT_TRUE(analysis::check_faulty_round_bound(r).empty());
+  r.final_config = Configuration(8, {0, 0, 2, 3, 4, 5});
+  EXPECT_NE(analysis::check_faulty_round_bound(r).find("multiplicity"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyndisp

@@ -1,0 +1,167 @@
+// Tests for the crash-fault extension (Section VII / Theorem 5):
+// FaultSchedule mechanics, engine crash handling, and the O(k-f) bound.
+#include <gtest/gtest.h>
+
+#include "analysis/verify.h"
+#include "core/dispersion.h"
+#include "dynamic/random_adversary.h"
+#include "dynamic/star_star_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+namespace {
+
+EngineOptions standard_options() {
+  EngineOptions opt;
+  opt.max_rounds = 10000;
+  opt.record_progress = true;
+  return opt;
+}
+
+TEST(FaultSchedule, CrashesAtFiltersByRoundAndPhase) {
+  FaultSchedule s({{3, 1, CrashPhase::kBeforeCommunicate},
+                   {3, 2, CrashPhase::kAfterCommunicate},
+                   {5, 3, CrashPhase::kBeforeCommunicate}});
+  EXPECT_EQ(s.crashes_at(3, CrashPhase::kBeforeCommunicate),
+            std::vector<RobotId>{1});
+  EXPECT_EQ(s.crashes_at(3, CrashPhase::kAfterCommunicate),
+            std::vector<RobotId>{2});
+  EXPECT_EQ(s.crashes_at(5, CrashPhase::kBeforeCommunicate),
+            std::vector<RobotId>{3});
+  EXPECT_TRUE(s.crashes_at(4, CrashPhase::kBeforeCommunicate).empty());
+  EXPECT_EQ(s.fault_count(), 3u);
+}
+
+TEST(FaultSchedule, RandomSchedulePicksDistinctRobots) {
+  Rng rng(9);
+  const FaultSchedule s = FaultSchedule::random(10, 6, 20, rng);
+  EXPECT_EQ(s.fault_count(), 6u);
+  std::set<RobotId> robots;
+  for (const CrashEvent& e : s.events()) {
+    EXPECT_GE(e.robot, 1u);
+    EXPECT_LE(e.robot, 10u);
+    EXPECT_LT(e.round, 20u);
+    robots.insert(e.robot);
+  }
+  EXPECT_EQ(robots.size(), 6u);
+}
+
+TEST(Faults, CrashBeforeCommunicateVacatesNode) {
+  // Two robots on one node; one crashes before round 0's communicate: the
+  // survivor is alone -> dispersed in 0 rounds with no move.
+  StaticAdversary adv(builders::path(3));
+  Engine engine(adv, placement::rooted(3, 2), core::dispersion_factory(),
+                standard_options(),
+                FaultSchedule({{0, 2, CrashPhase::kBeforeCommunicate}}));
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.crashed, 1u);
+  EXPECT_EQ(r.total_moves, 0u);
+}
+
+TEST(Faults, CrashAfterCommunicateCancelsTheMove) {
+  // Robot 2 is the designated mover out of the rooted pair; it crashes
+  // after communicate, so nobody moves this round, and the survivor is
+  // dispersed from the next round's viewpoint.
+  StaticAdversary adv(builders::path(3));
+  Engine engine(adv, placement::rooted(3, 2), core::dispersion_factory(),
+                standard_options(),
+                FaultSchedule({{0, 2, CrashPhase::kAfterCommunicate}}));
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_EQ(r.total_moves, 0u);
+  EXPECT_EQ(r.crashed, 1u);
+  EXPECT_EQ(r.rounds, 1u);  // round 0 ran (and was wasted by the crash)
+}
+
+TEST(Faults, CrashOfSettledRobotReopensNode) {
+  // A settled robot crashing turns its node into a reusable empty node
+  // (Section VII): the algorithm proceeds as if it were never occupied.
+  StaticAdversary adv(builders::path(4));
+  // Robots 1,2,3 rooted on node 0; robot 1 (which settles node 0 as the
+  // smallest ID) crashes later.
+  Engine engine(adv, placement::rooted(4, 3), core::dispersion_factory(),
+                standard_options(),
+                FaultSchedule({{1, 1, CrashPhase::kBeforeCommunicate}}));
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_TRUE(r.final_config.is_dispersed());
+  EXPECT_EQ(r.crashed, 1u);
+}
+
+TEST(Faults, AllRobotsCrashIsVacuousDispersion) {
+  StaticAdversary adv(builders::path(4));
+  Engine engine(adv, placement::rooted(4, 2), core::dispersion_factory(),
+                standard_options(),
+                FaultSchedule({{0, 1, CrashPhase::kBeforeCommunicate},
+                               {0, 2, CrashPhase::kBeforeCommunicate}}));
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_EQ(r.crashed, 2u);
+  EXPECT_EQ(r.final_config.alive_count(), 0u);
+}
+
+TEST(Faults, ComponentSplitByCrashStillProgresses) {
+  // Crash the middle robot of an occupied path so the component splits in
+  // two; both halves keep sliding independently.
+  StaticAdversary adv(builders::path(9));
+  Configuration conf(9, {2, 2, 3, 4, 5, 6, 6});  // occupied 2..6, mults at 2,6
+  Engine engine(adv, std::move(conf), core::dispersion_factory(),
+                standard_options(),
+                FaultSchedule({{0, 4, CrashPhase::kBeforeCommunicate}}));
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_TRUE(r.final_config.is_dispersed());
+}
+
+// Theorem 5 sweep: random crash schedules; rounds <= k - f + slack, memory
+// stays Theta(log k).
+class FaultSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FaultSweep, Theorem5BoundHolds) {
+  const std::size_t f = GetParam();
+  const std::size_t n = 20, k = 16;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomAdversary adv(n, 6, seed);
+    Rng rng(seed * 31 + f);
+    // Crashes land within the first k rounds, the window where they can
+    // actually affect the run.
+    const FaultSchedule faults = FaultSchedule::random(k, f, k, rng);
+    Engine engine(adv, placement::rooted(n, k), core::dispersion_factory(),
+                  standard_options(), faults);
+    const RunResult r = engine.run();
+    SCOPED_TRACE("f=" + std::to_string(f) + " seed=" + std::to_string(seed));
+    EXPECT_TRUE(r.dispersed);
+    EXPECT_TRUE(r.final_config.is_dispersed());
+    // O(k - f): every crash removes at least one robot that no longer needs
+    // a node. Crashes can happen only up to round k, so allow the slack of
+    // crashes scheduled after dispersion completed.
+    EXPECT_LE(r.rounds, k - r.crashed + 1 + f);
+    EXPECT_TRUE(analysis::check_memory_bound(r).empty())
+        << analysis::check_memory_bound(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCounts, FaultSweep,
+                         ::testing::Values(0, 1, 2, 4, 8, 12, 16));
+
+TEST(Faults, StarStarWithCrashesStillWithinBound) {
+  const std::size_t n = 18, k = 14, f = 4;
+  StarStarAdversary adv(n);
+  Rng rng(77);
+  const FaultSchedule faults = FaultSchedule::random(k, f, k / 2, rng);
+  Engine engine(adv, placement::rooted(n, k), core::dispersion_factory(),
+                standard_options(), faults);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_LE(r.rounds, k);
+}
+
+}  // namespace
+}  // namespace dyndisp

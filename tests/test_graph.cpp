@@ -1,0 +1,194 @@
+// Unit tests for the port-labeled anonymous graph.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, AddEdgeAssignsSequentialPorts) {
+  Graph g(4);
+  const auto [p01u, p01v] = g.add_edge(0, 1);
+  EXPECT_EQ(p01u, 1u);
+  EXPECT_EQ(p01v, 1u);
+  const auto [p02u, p02v] = g.add_edge(0, 2);
+  EXPECT_EQ(p02u, 2u);  // second edge at node 0
+  EXPECT_EQ(p02v, 1u);  // first edge at node 2
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, ReversePortsConsistent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (Port p = 1; p <= g.degree(v); ++p) {
+      const HalfEdge& he = g.half_edge(v, p);
+      EXPECT_EQ(g.half_edge(he.to, he.reverse_port).to, v);
+      EXPECT_EQ(g.half_edge(he.to, he.reverse_port).reverse_port, p);
+    }
+  }
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, HasEdgeAndPortTo) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.port_to(2, 3), 1u);
+  EXPECT_EQ(g.port_to(0, 1), kInvalidPort);
+}
+
+TEST(Graph, NeighborResolvesPort) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+  EXPECT_EQ(g.neighbor(0, 2), 1u);
+}
+
+TEST(Graph, RemoveEdgeCompactsPorts) {
+  Graph g(4);
+  g.add_edge(0, 1);  // port 1 at 0
+  g.add_edge(0, 2);  // port 2 at 0
+  g.add_edge(0, 3);  // port 3 at 0
+  ASSERT_TRUE(g.remove_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+  // Former port 3 (to node 3) slid down to port 2.
+  EXPECT_EQ(g.neighbor(0, 1), 1u);
+  EXPECT_EQ(g.neighbor(0, 2), 3u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, RemoveMissingEdgeReturnsFalse) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.remove_edge(1, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, RemoveEdgeFixesReversePortsAtFarEndpoints) {
+  // Build a node with several edges, remove a middle one, and check every
+  // remaining half-edge still round-trips.
+  Graph g(6);
+  for (NodeId v = 1; v < 6; ++v) g.add_edge(0, v);
+  g.add_edge(1, 2);
+  ASSERT_TRUE(g.remove_edge(0, 3));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, PermutePortsKeepsValidity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.permute_ports(0, {2, 0, 1});  // old port1 -> new port3, etc.
+  EXPECT_EQ(g.neighbor(0, 3), 1u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+  EXPECT_EQ(g.neighbor(0, 2), 3u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, ShufflePortsPreservesTopology) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 0);
+  Rng rng(99);
+  g.shuffle_ports(rng);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(5, 0));
+}
+
+TEST(Graph, EdgesListsEachEdgeOnce) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_EQ(g.neighbor(e.u, e.port_u), e.v);
+    EXPECT_EQ(g.neighbor(e.v, e.port_v), e.u);
+  }
+}
+
+TEST(Graph, RewireEdgePreservesPortLayout) {
+  // Clique on {0,1,2,3}; nodes 4,5 isolated targets.
+  Graph g(6);
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  const Port p01_at0 = g.port_to(0, 1);
+  const Port p01_at1 = g.port_to(1, 0);
+  const std::size_t deg0 = g.degree(0), deg1 = g.degree(1);
+
+  g.rewire_edge(0, 1, 4, 5);
+
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), deg0);  // same degree: one edge swapped in place
+  EXPECT_EQ(g.degree(1), deg1);
+  EXPECT_EQ(g.neighbor(0, p01_at0), 4u);  // the exact port now leads to 4
+  EXPECT_EQ(g.neighbor(1, p01_at1), 5u);
+  // Other ports at 0 and 1 untouched.
+  for (Port p = 1; p <= g.degree(0); ++p) {
+    if (p != p01_at0) {
+      EXPECT_LT(g.neighbor(0, p), 4u);
+    }
+  }
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.edge_count(), 7u);  // 6 - 1 + 2
+}
+
+TEST(Graph, RewireEdgeToSameTarget) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.rewire_edge(0, 1, 3, 3);  // both replacements land on node 3
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, FromEdgesMatchesManualConstruction) {
+  const Graph a = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  Graph b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Graph, EqualityDetectsPortDifferences) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  a.add_edge(0, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(a == b);  // same topology, different port labels
+}
+
+}  // namespace
+}  // namespace dyndisp

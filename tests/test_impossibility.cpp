@@ -1,0 +1,180 @@
+// Tests reproducing the impossibility results (Theorems 1 and 2): the trap
+// adversaries contain every baseline that lacks the respective capability,
+// for a horizon far exceeding what a correct algorithm would need, while
+// Algorithm 4 (which has both capabilities) escapes the clique trap.
+#include <gtest/gtest.h>
+
+#include "baselines/blind_walk.h"
+#include "baselines/dfs_dispersion.h"
+#include "baselines/greedy_local.h"
+#include "baselines/random_walk.h"
+#include "core/dispersion.h"
+#include "dynamic/clique_trap_adversary.h"
+#include "dynamic/path_trap_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+namespace {
+
+constexpr Round kHorizon = 400;  // >> k for every instance below
+
+EngineOptions local_with_knowledge() {
+  EngineOptions opt;
+  opt.comm = CommModel::kLocal;
+  opt.neighborhood_knowledge = true;
+  opt.max_rounds = kHorizon;
+  opt.record_progress = true;
+  opt.allow_model_mismatch = true;  // baselines run outside their comfort zone
+  return opt;
+}
+
+EngineOptions global_without_knowledge() {
+  EngineOptions opt;
+  opt.comm = CommModel::kGlobal;
+  opt.neighborhood_knowledge = false;
+  opt.max_rounds = kHorizon;
+  opt.record_progress = true;
+  opt.allow_model_mismatch = true;
+  return opt;
+}
+
+// ---- Theorem 1: local communication + 1-neighborhood knowledge ----
+
+TEST(Theorem1, PathTrapContainsGreedyFromFigure1) {
+  const std::size_t n = 12, k = 6;
+  PathTrapAdversary adv(n);
+  Engine engine(adv, placement::figure1(n, k),
+                baselines::greedy_local_factory(), local_with_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.dispersed);
+  EXPECT_LT(r.max_occupied, k);  // never reached k occupied nodes
+  EXPECT_EQ(adv.failures(), 0u);
+}
+
+TEST(Theorem1, PathTrapContainsLocalDfs) {
+  const std::size_t n = 12, k = 6;
+  PathTrapAdversary adv(n);
+  Engine engine(adv, placement::figure1(n, k),
+                baselines::dfs_dispersion_factory(), local_with_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.dispersed);
+  EXPECT_LT(r.max_occupied, k);
+}
+
+TEST(Theorem1, PathTrapContainsRandomWalk) {
+  // The Theorem 3 remark: the adversary arguments also defeat randomized
+  // strategies (the walk is deterministic given its seed, which the
+  // adversary -- knowing "the algorithm and the states" -- can predict).
+  const std::size_t n = 12, k = 6;
+  PathTrapAdversary adv(n);
+  Engine engine(adv, placement::figure1(n, k),
+                baselines::random_walk_factory(1234),
+                local_with_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.dispersed);
+  EXPECT_LT(r.max_occupied, k);
+}
+
+TEST(Theorem1, PathTrapContainsLargerInstances) {
+  for (const std::size_t k : {5u, 8u, 10u}) {
+    const std::size_t n = k + 6;
+    PathTrapAdversary adv(n);
+    Engine engine(adv, placement::figure1(n, k),
+                  baselines::greedy_local_factory(), local_with_knowledge());
+    const RunResult r = engine.run();
+    SCOPED_TRACE("k=" + std::to_string(k));
+    EXPECT_FALSE(r.dispersed);
+    EXPECT_LT(r.max_occupied, k);
+  }
+}
+
+TEST(Theorem1, ContrastSameAlgorithmDispersesWithoutTheTrap) {
+  // Sanity check that the containment is the trap's doing: greedy solves
+  // the star instantly when the adversary is benign.
+  // greedy on a static star: surplus robots see empty leaves and go.
+  const std::size_t n = 8, k = 4;
+  StaticAdversary adv(builders::star(n));
+  Engine engine(adv, placement::rooted(n, k),
+                baselines::greedy_local_factory(), local_with_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_LE(r.rounds, 2u);
+}
+
+// ---- Theorem 2: global communication without 1-neighborhood knowledge ----
+
+Configuration theorem2_start(std::size_t n, std::size_t k, std::uint64_t seed) {
+  // The proof's configuration: k robots on k-1 nodes (one doubled).
+  Rng rng(seed);
+  return placement::grouped(n, k, k - 1, rng);
+}
+
+TEST(Theorem2, CliqueTrapContainsBlindWalk) {
+  const std::size_t n = 14, k = 8;
+  CliqueTrapAdversary adv(n);
+  Engine engine(adv, theorem2_start(n, k, 3), baselines::blind_walk_factory(),
+                global_without_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.dispersed);
+  EXPECT_LT(r.max_occupied, k);
+  EXPECT_EQ(adv.failures(), 0u);
+  EXPECT_EQ(adv.degenerate_rounds(), 0u);
+}
+
+TEST(Theorem2, CliqueTrapContainsRandomWalkWithoutKnowledge) {
+  const std::size_t n = 14, k = 8;
+  CliqueTrapAdversary adv(n);
+  Engine engine(adv, theorem2_start(n, k, 5),
+                baselines::random_walk_factory(42),
+                global_without_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.dispersed);
+  EXPECT_LT(r.max_occupied, k);
+  EXPECT_EQ(adv.failures(), 0u);
+}
+
+TEST(Theorem2, CliqueTrapAcrossSizes) {
+  for (const std::size_t k : {6u, 10u, 14u}) {
+    const std::size_t n = k + 8;
+    CliqueTrapAdversary adv(n);
+    Engine engine(adv, theorem2_start(n, k, k), baselines::blind_walk_factory(),
+                  global_without_knowledge());
+    const RunResult r = engine.run();
+    SCOPED_TRACE("k=" + std::to_string(k));
+    EXPECT_FALSE(r.dispersed);
+    EXPECT_LT(r.max_occupied, k);
+    EXPECT_EQ(adv.failures(), 0u);
+  }
+}
+
+TEST(Theorem2, AlgorithmFourEscapesTheCliqueTrap) {
+  // With 1-neighborhood knowledge the trap has no power: robots SEE which
+  // ports lead to empty nodes. The failures() counter must record the
+  // escape rounds, and dispersion completes within Theorem 4's bound.
+  const std::size_t n = 14, k = 8;
+  CliqueTrapAdversary adv(n);
+  EngineOptions opt;
+  opt.max_rounds = kHorizon;
+  opt.record_progress = true;
+  Engine engine(adv, theorem2_start(n, k, 7), core::dispersion_factory(), opt);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_LE(r.rounds, k);
+  EXPECT_GE(adv.failures(), 1u);
+}
+
+TEST(Theorem2, BlindWalkDispersesOnBenignStaticGraph) {
+  // Control: the blind walk does disperse when no adversary interferes.
+  auto adv = StaticAdversary(builders::complete(10));
+  Engine engine(adv, placement::rooted(10, 5), baselines::blind_walk_factory(),
+                global_without_knowledge());
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+}
+
+}  // namespace
+}  // namespace dyndisp

@@ -1,0 +1,118 @@
+// Tests for configurations and initial placements.
+#include <gtest/gtest.h>
+
+#include "robots/configuration.h"
+#include "robots/placement.h"
+#include "util/rng.h"
+
+namespace dyndisp {
+namespace {
+
+TEST(Configuration, BasicAccessors) {
+  Configuration c(5, {0, 0, 3});
+  EXPECT_EQ(c.robot_count(), 3u);
+  EXPECT_EQ(c.node_count(), 5u);
+  EXPECT_EQ(c.position(1), 0u);
+  EXPECT_EQ(c.position(3), 3u);
+  EXPECT_EQ(c.alive_count(), 3u);
+}
+
+TEST(Configuration, OccupancyAndMultiplicity) {
+  Configuration c(6, {0, 0, 2, 2, 2});
+  const auto occ = c.occupancy();
+  EXPECT_EQ(occ, (std::vector<std::size_t>{2, 0, 3, 0, 0, 0}));
+  EXPECT_EQ(c.occupied_nodes(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.multiplicity_nodes(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.occupied_count(), 2u);
+  EXPECT_FALSE(c.is_dispersed());
+}
+
+TEST(Configuration, RobotsAtSorted) {
+  Configuration c(5, {1, 0, 1, 1});
+  EXPECT_EQ(c.robots_at(1), (std::vector<RobotId>{1, 3, 4}));
+  EXPECT_EQ(c.robots_at(2), std::vector<RobotId>{});
+}
+
+TEST(Configuration, DispersedDetection) {
+  Configuration c(4, {0, 1, 2});
+  EXPECT_TRUE(c.is_dispersed());
+  c.set_position(3, 1);
+  EXPECT_FALSE(c.is_dispersed());
+}
+
+TEST(Configuration, KillRemovesFromEverything) {
+  Configuration c(3, {0, 0, 1});
+  c.kill(2);
+  EXPECT_EQ(c.alive_count(), 2u);
+  EXPECT_FALSE(c.alive(2));
+  EXPECT_EQ(c.robots_at(0), std::vector<RobotId>{1});
+  EXPECT_TRUE(c.is_dispersed());  // remaining robots are alone
+  EXPECT_EQ(c.occupancy()[0], 1u);
+}
+
+TEST(Configuration, KillIdempotent) {
+  Configuration c(3, {0, 1});
+  c.kill(1);
+  c.kill(1);
+  EXPECT_EQ(c.alive_count(), 1u);
+}
+
+TEST(Configuration, EmptyOfRobotsIsVacuouslyDispersed) {
+  Configuration c(3, {0, 0});
+  c.kill(1);
+  c.kill(2);
+  EXPECT_TRUE(c.is_dispersed());
+  EXPECT_EQ(c.occupied_count(), 0u);
+}
+
+TEST(Placement, Rooted) {
+  const Configuration c = placement::rooted(10, 6, 4);
+  EXPECT_EQ(c.occupied_nodes(), std::vector<NodeId>{4});
+  EXPECT_EQ(c.robots_at(4).size(), 6u);
+}
+
+TEST(Placement, UniformRandomInRange) {
+  Rng rng(3);
+  const Configuration c = placement::uniform_random(12, 12, rng);
+  for (RobotId id = 1; id <= 12; ++id) EXPECT_LT(c.position(id), 12u);
+}
+
+TEST(Placement, UniformRandomDeterministic) {
+  Rng a(5), b(5);
+  const Configuration x = placement::uniform_random(20, 10, a);
+  const Configuration y = placement::uniform_random(20, 10, b);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Placement, GroupedSpreadsEvenly) {
+  Rng rng(7);
+  const Configuration c = placement::grouped(20, 10, 4, rng);
+  EXPECT_EQ(c.occupied_count(), 4u);
+  for (const NodeId v : c.occupied_nodes()) {
+    const auto count = c.robots_at(v).size();
+    EXPECT_GE(count, 2u);
+    EXPECT_LE(count, 3u);
+  }
+}
+
+TEST(Placement, GroupedSingleGroupIsRooted) {
+  Rng rng(7);
+  const Configuration c = placement::grouped(10, 5, 1, rng);
+  EXPECT_EQ(c.occupied_count(), 1u);
+}
+
+TEST(Placement, Figure1Shape) {
+  const Configuration c = placement::figure1(10, 6);
+  EXPECT_EQ(c.robots_at(0), (std::vector<RobotId>{1, 2}));  // doubled end v
+  for (NodeId v = 1; v <= 4; ++v) EXPECT_EQ(c.robots_at(v).size(), 1u);
+  EXPECT_EQ(c.occupied_count(), 5u);  // k - 1 occupied nodes
+}
+
+TEST(Placement, ExplicitPositions) {
+  const Configuration c = placement::explicit_positions(4, {3, 3, 0});
+  EXPECT_EQ(c.position(1), 3u);
+  EXPECT_EQ(c.multiplicity_nodes(), std::vector<NodeId>{3});
+}
+
+}  // namespace
+}  // namespace dyndisp

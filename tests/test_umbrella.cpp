@@ -1,0 +1,19 @@
+// The umbrella header must compile standalone and expose the full API.
+#include "dyndisp.h"
+
+#include <gtest/gtest.h>
+
+namespace dyndisp {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  RandomAdversary adversary(10, 4, 1);
+  Engine engine(adversary, placement::rooted(10, 6),
+                core::dispersion_factory(), EngineOptions{});
+  const RunResult result = engine.run();
+  EXPECT_TRUE(result.dispersed);
+  EXPECT_LE(result.rounds, 6u);
+}
+
+}  // namespace
+}  // namespace dyndisp

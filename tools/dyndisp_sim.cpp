@@ -1,0 +1,309 @@
+// dyndisp_sim -- command-line driver for the dispersion simulator.
+//
+// Runs any (algorithm x adversary x placement x fault/activation model)
+// combination from the library over one or many seeds and reports rounds,
+// moves, metered memory, and progress; optionally dumps a full JSON trace
+// or a per-seed CSV.
+//
+// Examples:
+//   dyndisp_sim --n 20 --k 14                          # Alg4, random dynamic
+//   dyndisp_sim --adversary star-star --k 32 --trials 5
+//   dyndisp_sim --algorithm dfs --adversary static --family grid --comm local
+//   dyndisp_sim --faults 4 --trials 10 --csv out.csv
+//   dyndisp_sim --adversary ring-worst --trace-json trace.json
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "baselines/blind_walk.h"
+#include "baselines/dfs_dispersion.h"
+#include "baselines/greedy_local.h"
+#include "baselines/random_walk.h"
+#include "core/dispersion.h"
+#include "dynamic/churn_adversary.h"
+#include "dynamic/clique_trap_adversary.h"
+#include "dynamic/path_trap_adversary.h"
+#include "dynamic/random_adversary.h"
+#include "dynamic/ring_adversary.h"
+#include "dynamic/star_star_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "dynamic/t_interval_adversary.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/byzantine.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+#include "viz/svg.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dyndisp;
+
+constexpr const char* kUsage = R"(dyndisp_sim -- dispersion on dynamic graphs
+
+flags (all optional):
+  --n N                nodes (default 20)
+  --k K                robots (default 2n/3)
+  --trials T           seeds to sweep (default 1)
+  --seed S             base seed (default 1)
+  --max-rounds R       round budget (default 100k)
+  --algorithm A        alg4 | alg4-bfs | alg4-1path | dfs | greedy |
+                       random-walk | blind-walk           (default alg4)
+  --adversary ADV      random | tree | churn | star-star | ring |
+                       ring-worst | t-interval | static | static-shuffle |
+                       path-trap | clique-trap            (default random)
+  --family F           static family: path cycle star complete grid torus
+                       hypercube btree lollipop random    (default random)
+  --placement P        rooted | random | grouped | figure1 (default rooted)
+  --groups G           groups for grouped placement (default 3)
+  --comm C             global | local (default: what the algorithm needs)
+  --knowledge B        1-neighborhood knowledge on/off (default: as needed)
+  --activation P       semi-synchronous activation probability (default 1.0)
+  --scheduler S        sync | round-robin (default sync; round-robin
+                       activates one robot per round)
+  --faults F           robots to crash at random rounds (default 0)
+  --liars L            Byzantine liars (robots 1..L) (default 0)
+  --lie KIND           hide-multiplicity | hide-empty | erratic
+                       (default hide-multiplicity)
+  --trace-json FILE    dump the first trial's full trace as JSON
+  --svg FILE           render the first trial as an animated SVG
+  --csv FILE           per-trial results CSV
+  --help               this text
+)";
+
+Graph make_family(const std::string& family, std::size_t n,
+                  std::uint64_t seed) {
+  if (family == "path") return builders::path(n);
+  if (family == "cycle") return builders::cycle(n);
+  if (family == "star") return builders::star(n);
+  if (family == "complete") return builders::complete(n);
+  if (family == "grid") return builders::grid((n + 3) / 4, 4);
+  if (family == "torus") return builders::torus(3, (n + 2) / 3);
+  if (family == "hypercube") {
+    std::size_t d = 1;
+    while ((std::size_t{1} << (d + 1)) <= n) ++d;
+    return builders::hypercube(d);
+  }
+  if (family == "btree") return builders::binary_tree(n);
+  if (family == "lollipop") return builders::lollipop(n / 2, n - n / 2);
+  if (family == "random") {
+    Rng rng(seed);
+    return builders::random_connected(n, n / 2, rng);
+  }
+  throw std::invalid_argument("unknown --family " + family);
+}
+
+std::unique_ptr<Adversary> make_adversary(const std::string& adv,
+                                          const std::string& family,
+                                          std::size_t n, std::uint64_t seed) {
+  if (adv == "random") return std::make_unique<RandomAdversary>(n, n / 3, seed);
+  if (adv == "tree") return std::make_unique<RandomAdversary>(n, 0, seed);
+  if (adv == "churn") {
+    Rng rng(seed);
+    return std::make_unique<ChurnAdversary>(
+        builders::random_connected(n, n / 2, rng), 2, seed);
+  }
+  if (adv == "star-star")
+    return std::make_unique<StarStarAdversary>(n, true, seed);
+  if (adv == "ring")
+    return std::make_unique<RingAdversary>(n, RingAdversary::Strategy::kRandomEdge,
+                                           seed);
+  if (adv == "ring-worst")
+    return std::make_unique<RingAdversary>(n, RingAdversary::Strategy::kWorstEdge,
+                                           seed);
+  if (adv == "t-interval")
+    return std::make_unique<TIntervalAdversary>(
+        std::make_unique<RandomAdversary>(n, n / 4, seed), 4);
+  if (adv == "static")
+    return std::make_unique<StaticAdversary>(make_family(family, n, seed));
+  if (adv == "static-shuffle")
+    return std::make_unique<StaticAdversary>(make_family(family, n, seed),
+                                             true, seed);
+  if (adv == "path-trap") return std::make_unique<PathTrapAdversary>(n);
+  if (adv == "clique-trap") return std::make_unique<CliqueTrapAdversary>(n);
+  throw std::invalid_argument("unknown --adversary " + adv);
+}
+
+struct AlgoChoice {
+  AlgorithmFactory factory;
+  bool needs_global = false;
+  bool needs_knowledge = false;
+};
+
+AlgoChoice make_algorithm(const std::string& name, std::uint64_t seed) {
+  using core::PlannerConfig;
+  if (name == "alg4")
+    return {core::dispersion_factory_memoized(), true, true};
+  if (name == "alg4-bfs")
+    return {core::dispersion_factory_with_config(
+                {PlannerConfig::Tree::kBfs, 0}),
+            true, true};
+  if (name == "alg4-1path")
+    return {core::dispersion_factory_with_config(
+                {PlannerConfig::Tree::kDfs, 1}),
+            true, true};
+  if (name == "dfs") return {baselines::dfs_dispersion_factory(), false, false};
+  if (name == "greedy") return {baselines::greedy_local_factory(), false, true};
+  if (name == "random-walk")
+    return {baselines::random_walk_factory(seed * 911 + 3), false, false};
+  if (name == "blind-walk")
+    return {baselines::blind_walk_factory(), true, false};
+  throw std::invalid_argument("unknown --algorithm " + name);
+}
+
+Configuration make_placement(const std::string& p, std::size_t n,
+                             std::size_t k, std::size_t groups,
+                             std::uint64_t seed) {
+  if (p == "rooted") return placement::rooted(n, k);
+  if (p == "random") {
+    Rng rng(seed);
+    return placement::uniform_random(n, k, rng);
+  }
+  if (p == "grouped") {
+    Rng rng(seed);
+    return placement::grouped(n, k, groups, rng);
+  }
+  if (p == "figure1") return placement::figure1(n, k);
+  throw std::invalid_argument("unknown --placement " + p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    if (args.has("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+
+    const std::size_t n = args.get_uint("n", 20);
+    const std::size_t k = args.get_uint("k", std::max<std::size_t>(2, 2 * n / 3));
+    const std::size_t trials = args.get_uint("trials", 1);
+    const std::uint64_t base_seed = args.get_uint("seed", 1);
+    const std::string algorithm = args.get("algorithm", "alg4");
+    const std::string adversary = args.get("adversary", "random");
+    const std::string family = args.get("family", "random");
+    const std::string placement_name = args.get("placement", "rooted");
+    const std::size_t groups = args.get_uint("groups", 3);
+    const double activation = args.get_double("activation", 1.0);
+    const std::size_t faults = args.get_uint("faults", 0);
+    const std::size_t liars = args.get_uint("liars", 0);
+    const std::string lie_kind = args.get("lie", "hide-multiplicity");
+    const std::string trace_path = args.get("trace-json", "");
+    const std::string svg_path = args.get("svg", "");
+    const std::string csv_path = args.get("csv", "");
+
+    const AlgoChoice algo = make_algorithm(algorithm, base_seed);
+
+    EngineOptions options;
+    options.max_rounds = args.get_uint("max-rounds", 100 * k);
+    const std::string comm =
+        args.get("comm", algo.needs_global ? "global" : "local");
+    options.comm = comm == "global" ? CommModel::kGlobal : CommModel::kLocal;
+    options.neighborhood_knowledge =
+        args.get_bool("knowledge", algo.needs_knowledge);
+    options.allow_model_mismatch = true;
+    options.record_progress = true;
+    if (activation < 1.0) {
+      options.activation = Activation::kRandomSubset;
+      options.activation_probability = activation;
+      options.activation_seed = base_seed;
+    }
+    if (liars > 0) {
+      ByzantineLie lie = ByzantineLie::kHideMultiplicity;
+      if (lie_kind == "hide-empty") lie = ByzantineLie::kHideEmptyNeighbors;
+      else if (lie_kind == "erratic") lie = ByzantineLie::kErraticMoves;
+      else if (lie_kind != "hide-multiplicity")
+        throw std::invalid_argument("unknown --lie " + lie_kind);
+      std::set<RobotId> ids;
+      for (std::size_t i = 0; i < liars; ++i)
+        ids.insert(static_cast<RobotId>(i + 1));
+      options.byzantine = std::make_shared<ByzantineModel>(std::move(ids), lie);
+    }
+    const std::string scheduler = args.get("scheduler", "sync");
+    if (scheduler == "round-robin") {
+      options.activation = Activation::kRoundRobin;
+    } else if (scheduler != "sync") {
+      throw std::invalid_argument("unknown --scheduler " + scheduler);
+    }
+
+    if (const auto unknown = args.unused(); !unknown.empty()) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n",
+                   unknown.front().c_str());
+      return 2;
+    }
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!csv_path.empty()) {
+      csv = std::make_unique<CsvWriter>(
+          csv_path, std::vector<std::string>{"seed", "dispersed", "rounds",
+                                             "moves", "memory_bits",
+                                             "max_occupied", "crashed"});
+    }
+
+    Summary rounds, moves, memory;
+    std::size_t dispersed = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::uint64_t seed = base_seed + t;
+      auto adv = make_adversary(adversary, family, n, seed);
+      Configuration initial =
+          make_placement(placement_name, n, k, groups, seed);
+      FaultSchedule schedule = FaultSchedule::none();
+      if (faults > 0) {
+        Rng rng(seed * 17 + 5);
+        schedule = FaultSchedule::random(k, faults, k, rng);
+      }
+      EngineOptions trial_options = options;
+      trial_options.record_trace =
+          t == 0 && (!trace_path.empty() || !svg_path.empty());
+      Engine engine(*adv, std::move(initial), algo.factory, trial_options,
+                    std::move(schedule));
+      const RunResult r = engine.run();
+      if (r.dispersed) ++dispersed;
+      rounds.add(static_cast<double>(r.rounds));
+      moves.add(static_cast<double>(r.total_moves));
+      memory.add(static_cast<double>(r.max_memory_bits));
+      if (csv) {
+        csv->add_row({std::to_string(seed), r.dispersed ? "1" : "0",
+                      std::to_string(r.rounds), std::to_string(r.total_moves),
+                      std::to_string(r.max_memory_bits),
+                      std::to_string(r.max_occupied),
+                      std::to_string(r.crashed)});
+      }
+      if (trial_options.record_trace && !trace_path.empty()) {
+        std::ofstream out(trace_path);
+        out << trace_to_json(r.trace);
+        std::printf("trace written to %s (%zu rounds)\n", trace_path.c_str(),
+                    r.trace.size());
+      }
+      if (trial_options.record_trace && !svg_path.empty()) {
+        std::ofstream out(svg_path);
+        out << viz::render_animation(r.trace);
+        std::printf("animation written to %s (%zu rounds)\n",
+                    svg_path.c_str(), r.trace.size());
+      }
+    }
+
+    AsciiTable table({"metric", "value"});
+    table.set_title("dyndisp_sim: " + algorithm + " vs " + adversary +
+                    " (n=" + std::to_string(n) + ", k=" + std::to_string(k) +
+                    ", trials=" + std::to_string(trials) + ")");
+    table.add_row({"dispersed", std::to_string(dispersed) + "/" +
+                                    std::to_string(trials)});
+    table.add_row({"rounds mean/max", fmt_double(rounds.mean(), 1) + " / " +
+                                          fmt_double(rounds.max(), 0)});
+    table.add_row({"moves mean", fmt_double(moves.mean(), 1)});
+    table.add_row({"memory bits max", fmt_double(memory.max(), 0)});
+    std::fputs(table.render().c_str(), stdout);
+    return dispersed == trials ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+}
