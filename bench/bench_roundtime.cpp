@@ -1,0 +1,182 @@
+// Round-time perf harness: wall-clock cost of simulating Algorithm 4 per
+// robot-round, across adversaries, scales, and compute-phase thread counts.
+// Unlike the theorem benches this one makes no claim about the paper -- it
+// tracks the ENGINE, so perf regressions in the round hot path (packet
+// assembly, state serialization, planning) show up as a number a CI job or
+// a human can diff across commits. `--json` writes BENCH_roundtime.json, a
+// machine-readable sibling of the ASCII table (schema in README.md).
+//
+//   bench_roundtime [--json] [--out=FILE] [--threads=1,8] [--reps=N]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/dispersion.h"
+#include "dynamic/random_adversary.h"
+#include "dynamic/ring_adversary.h"
+#include "dynamic/star_star_adversary.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dyndisp;
+
+struct Row {
+  std::string adversary;
+  std::size_t k = 0;
+  std::size_t n = 0;
+  std::size_t threads = 1;
+  Round rounds = 0;
+  bool dispersed = false;
+  std::uint64_t robot_rounds = 0;
+  double wall_ms = 0;
+  double robot_rounds_per_sec = 0;
+  double packet_mbits = 0;
+};
+
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::size_t n) {
+  if (name == "random") return std::make_unique<RandomAdversary>(n, n / 3, 11);
+  if (name == "star-star") return std::make_unique<StarStarAdversary>(n);
+  if (name == "ring")
+    return std::make_unique<RingAdversary>(n, RingAdversary::Strategy::kWorstEdge);
+  throw std::invalid_argument("unknown adversary: " + name);
+}
+
+Row run(const std::string& adversary, std::size_t k, std::size_t threads,
+        std::size_t reps) {
+  const std::size_t n = k + k / 2;
+  Row row;
+  row.adversary = adversary;
+  row.k = k;
+  row.n = n;
+  row.threads = threads;
+  // Median-free but repeatable: take the best of `reps` runs so a one-off
+  // scheduler hiccup does not masquerade as a regression.
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    auto adv = make_adversary(adversary, n);
+    EngineOptions opt;
+    opt.max_rounds = 10 * k;
+    opt.threads = threads;
+    Engine engine(*adv, placement::rooted(n, k),
+                  core::dispersion_factory_memoized(), opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < row.wall_ms) row.wall_ms = ms;
+    row.rounds = r.rounds;
+    row.dispersed = r.dispersed;
+    row.robot_rounds = static_cast<std::uint64_t>(r.rounds) * k;
+    row.packet_mbits = static_cast<double>(r.packet_bits_sent) / 1e6;
+  }
+  row.robot_rounds_per_sec =
+      row.wall_ms > 0 ? 1000.0 * static_cast<double>(row.robot_rounds) /
+                            row.wall_ms
+                      : 0;
+  return row;
+}
+
+std::vector<std::size_t> parse_threads(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    unsigned long t = 0;
+    try {
+      std::size_t pos = 0;
+      t = std::stoul(item, &pos);
+      if (pos != item.size()) throw std::invalid_argument(item);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--threads expects integers, got '" + item +
+                                  "'");
+    }
+    if (t == 0) throw std::invalid_argument("--threads values must be >= 1");
+    out.push_back(t);
+  }
+  if (out.empty()) throw std::invalid_argument("--threads list is empty");
+  return out;
+}
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("bench", "roundtime");
+  w.member("schema_version", std::uint64_t{1});
+  w.key("results");
+  w.begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.member("adversary", r.adversary);
+    w.member("k", static_cast<std::uint64_t>(r.k));
+    w.member("n", static_cast<std::uint64_t>(r.n));
+    w.member("threads", static_cast<std::uint64_t>(r.threads));
+    w.member("rounds", static_cast<std::uint64_t>(r.rounds));
+    w.member("dispersed", r.dispersed);
+    w.member("robot_rounds", r.robot_rounds);
+    w.member("wall_ms", r.wall_ms);
+    w.member("robot_rounds_per_sec", r.robot_rounds_per_sec);
+    w.member("packet_mbits", r.packet_mbits);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliArgs args(argc, argv);
+  const bool json = args.get_bool("json", false);
+  const std::string out_path = args.get("out", "BENCH_roundtime.json");
+  const std::vector<std::size_t> thread_counts =
+      parse_threads(args.get("threads", "1,8"));
+  const std::size_t reps = args.get_uint("reps", 1);
+  for (const std::string& key : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+    return 2;
+  }
+
+  std::printf("== Round-time harness: engine wall-clock per robot-round ==\n");
+  bool ok = true;
+  std::vector<Row> rows;
+  for (const char* adversary : {"random", "star-star", "ring"}) {
+    AsciiTable table({"k", "threads", "rounds", "wall ms", "robot-rounds/s",
+                      "packet Mbits"});
+    table.set_title(adversary);
+    for (const std::size_t k : {64u, 128u, 256u, 512u}) {
+      for (const std::size_t threads : thread_counts) {
+        const Row row = run(adversary, k, threads, reps);
+        ok &= row.dispersed;
+        rows.push_back(row);
+        table.add_row({std::to_string(row.k), std::to_string(row.threads),
+                       std::to_string(row.rounds), fmt_double(row.wall_ms, 1),
+                       fmt_double(row.robot_rounds_per_sec, 0),
+                       fmt_double(row.packet_mbits, 2)});
+      }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  if (json) {
+    write_json(rows, out_path);
+    std::printf("wrote %s (%zu result rows)\n", out_path.c_str(), rows.size());
+  }
+  if (!ok) std::printf("WARNING: some runs did not disperse\n");
+  return ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}

@@ -12,9 +12,15 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && case "$(basename "$b")" in bench_*) ;; *) continue;; esac || continue
+  # bench_roundtime runs separately below so its JSON lands at the repo root.
+  case "$(basename "$b")" in bench_roundtime) continue;; esac
   echo "===== $b =====" | tee -a bench_output.txt
   "$b" 2>&1 | tee -a bench_output.txt
   echo | tee -a bench_output.txt
 done
 
-echo "done: test_output.txt, bench_output.txt"
+echo "===== build/bench/bench_roundtime --json =====" | tee -a bench_output.txt
+build/bench/bench_roundtime --json --out=BENCH_roundtime.json 2>&1 |
+  tee -a bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt, BENCH_roundtime.json"

@@ -56,7 +56,7 @@ Port DfsDispersionRobot::step(const RobotView& view) {
   std::vector<PeerState> peers;
   peers.reserve(view.colocated.size());
   for (std::size_t i = 0; i < view.colocated.size(); ++i) {
-    PeerState s = decode(view.colocated_states[i], 0, view.k);
+    PeerState s = decode(view.colocated_state(i), 0, view.k);
     s.id = view.colocated[i];  // authoritative ID from the view
     peers.push_back(s);
   }

@@ -58,13 +58,39 @@ ComponentNode node_from_packet(const InfoPacket& pkt) {
   return node;
 }
 
-}  // namespace
+/// Sender -> packet index, built once and shared by every component of the
+/// round (the seed rebuilt a std::map per component, which made one round's
+/// component construction O(components * packets * log)).
+using SenderIndex = std::vector<std::pair<RobotId, const InfoPacket*>>;
 
-ComponentGraph build_component(const std::vector<InfoPacket>& packets,
-                               RobotId start_name) {
-  std::map<RobotId, const InfoPacket*> by_sender;
-  for (const InfoPacket& pkt : packets) by_sender.emplace(pkt.sender, &pkt);
-  assert(by_sender.count(start_name) && "start node must have a packet");
+SenderIndex index_by_sender(const std::vector<InfoPacket>& packets) {
+  SenderIndex index;
+  index.reserve(packets.size());
+  for (const InfoPacket& pkt : packets) index.emplace_back(pkt.sender, &pkt);
+  // Canonical packet sets arrive sender-ascending; hand-built ones may not.
+  if (!std::is_sorted(index.begin(), index.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first < b.first;
+                      })) {
+    std::sort(index.begin(), index.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return index;
+}
+
+const InfoPacket* find_sender(const SenderIndex& index, RobotId name) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), name,
+      [](const std::pair<RobotId, const InfoPacket*>& e, RobotId x) {
+        return e.first < x;
+      });
+  return (it != index.end() && it->first == name) ? it->second : nullptr;
+}
+
+ComponentGraph build_component_indexed(const SenderIndex& by_sender,
+                                       RobotId start_name) {
+  assert(find_sender(by_sender, start_name) != nullptr &&
+         "start node must have a packet");
 
   ComponentGraph cg;
   // Algorithm 1's loop: repeatedly take the smallest-ID unprocessed node,
@@ -81,12 +107,12 @@ ComponentGraph build_component(const std::vector<InfoPacket>& packets,
     const RobotId name = *to_process.begin();
     to_process.erase(to_process.begin());
     processed.insert(name);
-    const auto it = by_sender.find(name);
-    if (it == by_sender.end()) continue;  // phantom reference: skip
-    ComponentNode node = node_from_packet(*it->second);
+    const InfoPacket* pkt = find_sender(by_sender, name);
+    if (pkt == nullptr) continue;  // phantom reference: skip
+    ComponentNode node = node_from_packet(*pkt);
     // Drop edges toward phantom names so the component stays closed.
     std::erase_if(node.edges, [&](const std::pair<Port, RobotId>& edge) {
-      return !by_sender.count(edge.second);
+      return find_sender(by_sender, edge.second) == nullptr;
     });
     for (const auto& [port, nb] : node.edges)
       if (!processed.count(nb)) to_process.insert(nb);
@@ -96,13 +122,21 @@ ComponentGraph build_component(const std::vector<InfoPacket>& packets,
   return cg;
 }
 
+}  // namespace
+
+ComponentGraph build_component(const std::vector<InfoPacket>& packets,
+                               RobotId start_name) {
+  return build_component_indexed(index_by_sender(packets), start_name);
+}
+
 std::vector<ComponentGraph> build_all_components(
     const std::vector<InfoPacket>& packets) {
+  const SenderIndex by_sender = index_by_sender(packets);
   std::vector<ComponentGraph> components;
   std::set<RobotId> seen;
   for (const InfoPacket& pkt : packets) {
     if (seen.count(pkt.sender)) continue;
-    ComponentGraph cg = build_component(packets, pkt.sender);
+    ComponentGraph cg = build_component_indexed(by_sender, pkt.sender);
     for (const ComponentNode& n : cg.nodes()) seen.insert(n.name);
     components.push_back(std::move(cg));
   }

@@ -26,7 +26,10 @@ Port DispersionRobot::step(const RobotView& view) {
   const SlidePlan* plan;
   SlidePlan local_plan;
   if (cache_) {
-    plan = &cache_->get(view.packets(), config_);
+    // Prefer the handle-keyed cache path: all robots of a round share one
+    // broadcast handle, so the lookup is a pointer compare, not a deep one.
+    plan = view.shared_packets ? &cache_->get(view.shared_packets, config_)
+                               : &cache_->get(view.packets(), config_);
   } else {
     local_plan = plan_round(view.packets(), config_);
     plan = &local_plan;

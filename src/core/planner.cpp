@@ -90,18 +90,46 @@ SlidePlan plan_round(const std::vector<InfoPacket>& packets,
   return plan;
 }
 
-const SlidePlan& PlanCache::get(const std::vector<InfoPacket>& packets,
-                                const PlannerConfig& config) {
-  if (valid_ && key_ == packets && config_ == config) {
+const SlidePlan& PlanCache::get_locked(
+    const std::vector<InfoPacket>& packets,
+    const std::shared_ptr<const std::vector<InfoPacket>>& handle,
+    const PlannerConfig& config) {
+  if (valid_ && config_ == config &&
+      ((handle && key_handle_ == handle) || key_ == packets)) {
+    if (handle) key_handle_ = handle;  // adopt for future pointer hits
     ++hits_;
     return value_;
   }
   ++misses_;
   key_ = packets;
+  key_handle_ = handle;
   config_ = config;
   value_ = plan_round(packets, config);
   valid_ = true;
   return value_;
+}
+
+const SlidePlan& PlanCache::get(const std::vector<InfoPacket>& packets,
+                                const PlannerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_locked(packets, nullptr, config);
+}
+
+const SlidePlan& PlanCache::get(
+    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
+    const PlannerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_locked(*packets, packets, config);
+}
+
+std::size_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 }  // namespace dyndisp::core

@@ -10,6 +10,14 @@ namespace dyndisp {
 Graph Graph::from_edges(std::size_t n,
                         const std::vector<std::pair<NodeId, NodeId>>& edges) {
   Graph g(n);
+  // Pre-size each adjacency list to its final degree so dense builders
+  // (cliques, trap graphs) do no reallocation during insertion.
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& [u, v] : edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  for (NodeId v = 0; v < n; ++v) g.adj_[v].reserve(degree[v]);
   for (const auto& [u, v] : edges) g.add_edge(u, v);
   return g;
 }
@@ -21,12 +29,22 @@ std::size_t Graph::max_degree() const {
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
+  // Scan the lower-degree endpoint: membership is symmetric, and hub-and-
+  // spoke graphs (stars, blobs) make the asymmetry a k-fold saving.
+  if (adj_[v].size() < adj_[u].size()) std::swap(u, v);
   for (const auto& he : adj_[u])
     if (he.to == v) return true;
   return false;
 }
 
 Port Graph::port_to(NodeId u, NodeId v) const {
+  // Same lower-degree trick: v's half-edge back to u records the port at u
+  // as its reverse_port, so scanning the shorter list still answers for u.
+  if (adj_[v].size() < adj_[u].size()) {
+    for (const auto& he : adj_[v])
+      if (he.to == u) return he.reverse_port;
+    return kInvalidPort;
+  }
   for (std::size_t i = 0; i < adj_[u].size(); ++i)
     if (adj_[u][i].to == v) return static_cast<Port>(i + 1);
   return kInvalidPort;

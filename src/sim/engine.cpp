@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "dynamic/validator.h"
+#include "util/parallel.h"
 
 namespace dyndisp {
 
@@ -26,7 +27,10 @@ Engine::Engine(Adversary& adversary, Configuration initial,
   for (RobotId id = 1; id <= k; ++id) robots_.push_back(factory(id, k));
   arrival_ports_.assign(k, kInvalidPort);
   active_.assign(k, true);
+  states_.assign(k, nullptr);
+  state_bits_.assign(k, 0);
   activation_rng_ = Rng(options_.activation_seed);
+  if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
   if (!options_.allow_model_mismatch && !robots_.empty()) {
     const RobotAlgorithm& proto = *robots_.front();
     if (proto.requires_global_comm() && options_.comm != CommModel::kGlobal) {
@@ -40,70 +44,72 @@ Engine::Engine(Adversary& adversary, Configuration initial,
   }
 }
 
+Engine::~Engine() = default;
+
 std::string Engine::algorithm_name() const {
   return robots_.empty() ? "(none)" : robots_.front()->name();
+}
+
+void Engine::refresh_state(RobotId id) {
+  BitWriter w;
+  robots_[id - 1]->serialize(w);
+  state_bits_[id - 1] = w.bit_count();
+  states_[id - 1] = std::make_shared<const std::vector<std::uint8_t>>(w.bytes());
 }
 
 MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
                          Round round, const EngineOptions& options,
                          const std::vector<Port>& arrival_ports,
                          const std::vector<bool>& active,
-                         const std::vector<RobotAlgorithm*>& robots) {
+                         const std::vector<RobotAlgorithm*>& robots,
+                         const RoundContext& ctx,
+                         std::shared_ptr<const std::vector<InfoPacket>> packets,
+                         ThreadPool* pool) {
   const bool neighborhood = options.neighborhood_knowledge;
-  const NodeRobots index = robots_by_node(conf);
-  std::shared_ptr<const std::vector<InfoPacket>> packets;
-  if (options.comm == CommModel::kGlobal) {
-    auto assembled = make_all_packets(g, conf, neighborhood, &index);
-    if (options.byzantine) options.byzantine->tamper(assembled);
-    packets = std::make_shared<const std::vector<InfoPacket>>(
-        std::move(assembled));
-  }
+  const std::size_t k = conf.robot_count();
 
-  // Snapshot every robot's start-of-round persistent state once; co-located
-  // robots exchange these during Communicate.
-  std::vector<std::vector<std::uint8_t>> states(conf.robot_count());
-  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
-    if (!conf.alive(id)) continue;
-    BitWriter w;
-    robots[id - 1]->serialize(w);
-    states[id - 1] = w.bytes();
-  }
-
-  // Phase 1: assemble all views against the synchronous snapshot.
-  std::vector<RobotView> views(conf.robot_count());
-  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
-    if (!conf.alive(id) || !active[id - 1]) continue;
+  // Phase 1: assemble all views against the synchronous snapshot. Each view
+  // attaches the round's shared packet and state handles; nothing is copied
+  // per robot beyond its own neighborhood scan.
+  std::vector<RobotView> views(k);
+  parallel_for(pool, k, [&](std::size_t i) {
+    const RobotId id = static_cast<RobotId>(i + 1);
+    if (!conf.alive(id) || !active[i]) return;
     RobotView view = make_view(g, conf, id, round, options.comm,
-                               neighborhood, packets, &index);
-    view.arrival_port = arrival_ports[id - 1];
-    view.colocated_states.reserve(view.colocated.size());
-    for (const RobotId peer : view.colocated)
-      view.colocated_states.push_back(states[peer - 1]);
-    views[id - 1] = std::move(view);
-  }
+                               neighborhood, packets, &ctx.index());
+    view.arrival_port = arrival_ports[i];
+    view.colocated_states = ctx.node_states(conf.position(id));
+    views[i] = std::move(view);
+  });
 
-  // Phase 2: every robot computes; state mutations cannot leak into views.
-  MovePlan plan(conf.robot_count(), kInvalidPort);
-  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
-    if (!conf.alive(id) || !active[id - 1]) continue;
-    const Port p = robots[id - 1]->step(views[id - 1]);
-    if (p != kInvalidPort && p > views[id - 1].degree) {
+  // Phase 2: every robot computes; state mutations cannot leak into views
+  // (robots mutate only their own state, so the fan-out is race-free).
+  MovePlan plan(k, kInvalidPort);
+  parallel_for(pool, k, [&](std::size_t i) {
+    const RobotId id = static_cast<RobotId>(i + 1);
+    if (!conf.alive(id) || !active[i]) return;
+    const Port p = robots[i]->step(views[i]);
+    if (p != kInvalidPort && p > views[i].degree) {
       std::ostringstream os;
       os << "robot " << id << " chose invalid port " << p << " (degree "
-         << views[id - 1].degree << ") in round " << round;
+         << views[i].degree << ") in round " << round;
       throw std::runtime_error(os.str());
     }
-    plan[id - 1] = options.byzantine
-                       ? options.byzantine->override_move(
-                             id, p, views[id - 1].degree, round)
-                       : p;
-  }
+    plan[i] = options.byzantine
+                  ? options.byzantine->override_move(id, p, views[i].degree,
+                                                     round)
+                  : p;
+  });
   return plan;
 }
 
 MovePlan Engine::probe_plan(const Graph& candidate) const {
+  assert(round_ctx_ != nullptr &&
+         "probes only run while the engine is constructing a round");
   // Clone every robot so the dry run leaves persistent state untouched --
-  // the adversary predicts, it does not perturb.
+  // the adversary predicts, it does not perturb. State snapshots and the
+  // node index are reused from the round context; only the candidate's own
+  // packet broadcast is assembled.
   std::vector<std::unique_ptr<RobotAlgorithm>> clones;
   clones.reserve(robots_.size());
   std::vector<RobotAlgorithm*> raw;
@@ -112,17 +118,25 @@ MovePlan Engine::probe_plan(const Graph& candidate) const {
     clones.push_back(r->clone());
     raw.push_back(clones.back().get());
   }
+  std::shared_ptr<const std::vector<InfoPacket>> packets;
+  if (options_.comm == CommModel::kGlobal) {
+    packets = round_ctx_->assemble_candidate_packets(
+        candidate, conf_, options_.neighborhood_knowledge,
+        options_.byzantine.get(), pool_.get());
+  }
   // The probe round number equals the round being constructed; the engine
   // stores it in probe_round_ via the lambda installed in run().
   return plan_on(candidate, conf_, probe_round_, options_, arrival_ports_,
-                 active_, raw);
+                 active_, raw, *round_ctx_, std::move(packets), pool_.get());
 }
 
-MovePlan Engine::compute_plan(const Graph& g, Round round) {
+MovePlan Engine::compute_plan(const Graph& g, Round round,
+                              const RoundContext& ctx) {
   std::vector<RobotAlgorithm*> raw;
   raw.reserve(robots_.size());
   for (const auto& r : robots_) raw.push_back(r.get());
-  return plan_on(g, conf_, round, options_, arrival_ports_, active_, raw);
+  return plan_on(g, conf_, round, options_, arrival_ports_, active_, raw, ctx,
+                 ctx.packets(), pool_.get());
 }
 
 void Engine::draw_activation() {
@@ -173,6 +187,10 @@ RunResult Engine::run() {
   if (options_.record_progress)
     res.occupied_per_round.push_back(conf_.occupied_count());
 
+  // Initial snapshot: every robot's state serialized once before round 0.
+  for (RobotId id = 1; id <= conf_.robot_count(); ++id)
+    if (conf_.alive(id)) refresh_state(id);
+
   for (Round r = 0; r < options_.max_rounds; ++r) {
     for (const RobotId id : faults_.crashes_at(r, CrashPhase::kBeforeCommunicate)) {
       if (conf_.alive(id)) {
@@ -191,6 +209,10 @@ RunResult Engine::run() {
 
     probe_round_ = r;
     draw_activation();
+    // The round's shared artifacts: node index and state lists, built once
+    // and valid for every candidate graph probed this round.
+    RoundContext ctx(conf_, states_);
+    round_ctx_ = &ctx;
     if (adversary_.wants_plan_probe()) {
       adversary_.set_plan_probe(
           [this](const Graph& g) { return probe_plan(g); });
@@ -199,22 +221,23 @@ RunResult Engine::run() {
     if (options_.validate_graphs) {
       if (std::string err = validate_round_graph(g, conf_.node_count());
           !err.empty()) {
+        round_ctx_ = nullptr;
         throw std::runtime_error("adversary " + adversary_.name() +
                                  " emitted invalid graph in round " +
                                  std::to_string(r) + ": " + err);
       }
     }
     if (options_.comm == CommModel::kGlobal) {
-      res.packets_sent += conf_.occupied_count();
-      const NodeRobots index = robots_by_node(conf_);
-      for (const InfoPacket& pkt : make_all_packets(
-               g, conf_, options_.neighborhood_knowledge, &index)) {
-        res.packet_bits_sent +=
-            packet_bit_size(pkt, conf_.robot_count(), conf_.node_count());
-      }
+      // Single assembly per round: build the broadcast and meter its wire
+      // bits in one pass, then share it with every view via handle.
+      ctx.assemble_packets(g, conf_, options_.neighborhood_knowledge,
+                           options_.byzantine.get(), pool_.get());
+      res.packets_sent += ctx.packet_count();
+      res.packet_bits_sent += ctx.packet_bits();
     }
 
-    MovePlan plan = compute_plan(g, r);
+    MovePlan plan = compute_plan(g, r, ctx);
+    round_ctx_ = nullptr;
 
     bool crashed_this_round =
         !faults_.crashes_at(r, CrashPhase::kBeforeCommunicate).empty();
@@ -238,8 +261,14 @@ RunResult Engine::run() {
       ++res.total_moves;
     }
 
-    for (RobotId id = 1; id <= conf_.robot_count(); ++id)
-      if (conf_.alive(id)) meter_.record(*robots_[id - 1]);
+    // End of round: robots that stepped re-serialize (their state may have
+    // changed); every alive robot's current state size is metered from the
+    // stored bit counts -- no second serialization pass.
+    for (RobotId id = 1; id <= conf_.robot_count(); ++id) {
+      if (!conf_.alive(id)) continue;
+      if (active_[id - 1]) refresh_state(id);
+      meter_.record_bits(state_bits_[id - 1]);
+    }
 
     std::size_t newly = 0;
     for (const NodeId v : conf_.occupied_nodes()) {

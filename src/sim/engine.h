@@ -30,12 +30,15 @@
 #include "sim/byzantine.h"
 #include "sim/fault.h"
 #include "sim/memory_meter.h"
+#include "sim/round_context.h"
 #include "sim/sensing.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace dyndisp {
+
+class ThreadPool;
 
 /// Robot activation models. The paper is synchronous (every robot executes
 /// every CCM round); kRandomSubset is the semi-synchronous exploration the
@@ -74,6 +77,12 @@ struct EngineOptions {
   /// Byzantine liars (future-work exploration): tampers the packet layer
   /// and/or overrides the liars' moves. Null = all robots honest.
   std::shared_ptr<const ByzantineModel> byzantine;
+  /// Compute-phase fan-out: packet assembly, view assembly, and step() calls
+  /// are spread over this many threads (1 = fully serial, no pool). Results
+  /// are bitwise identical at any value: robots only read the round's shared
+  /// artifacts and mutate their own state, and every parallel loop writes to
+  /// index-owned slots under a static partition.
+  std::size_t threads = 1;
 };
 
 struct RunResult {
@@ -112,6 +121,8 @@ class Engine {
          const AlgorithmFactory& factory, EngineOptions options,
          FaultSchedule faults = FaultSchedule::none());
 
+  ~Engine();  // out of line: ThreadPool is forward-declared here
+
   /// Runs to dispersion or the round budget; returns the collected result.
   RunResult run();
 
@@ -136,19 +147,42 @@ class Engine {
   Rng activation_rng_{1};
   std::size_t round_robin_cursor_ = 0;  ///< Last activated ID (kRoundRobin).
 
-  /// Dry-runs all alive robots' compute phases on a candidate graph.
+  /// Each robot's serialized start-of-round state (id-1 indexed), refreshed
+  /// at the end of every round a robot steps in. Shared zero-copy with the
+  /// round's views through the RoundContext, and metered directly -- the
+  /// one serialization per robot per round the simulation performs.
+  std::vector<StateHandle> states_;
+  std::vector<std::size_t> state_bits_;  ///< Bit counts of states_ entries.
+
+  /// Compute-phase pool (null when options_.threads <= 1).
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// The executing round's shared artifacts; set by run() before the
+  /// adversary (and its plan probes) are consulted.
+  const RoundContext* round_ctx_ = nullptr;
+
+  /// Dry-runs all alive robots' compute phases on a candidate graph,
+  /// reusing the current round's context (state snapshots, node index).
   MovePlan probe_plan(const Graph& candidate) const;
 
   /// Runs the real compute phase on `g`, mutating robot state.
-  MovePlan compute_plan(const Graph& g, Round round);
+  MovePlan compute_plan(const Graph& g, Round round, const RoundContext& ctx);
 
   /// Views are assembled for ALL robots first (so state exchange reflects
   /// the synchronous start-of-round snapshot), then every robot steps.
+  /// `packets` is the (possibly candidate) broadcast for `g`; shared round
+  /// artifacts come from `ctx`.
   static MovePlan plan_on(const Graph& g, const Configuration& conf,
                           Round round, const EngineOptions& options,
                           const std::vector<Port>& arrival_ports,
                           const std::vector<bool>& active,
-                          const std::vector<RobotAlgorithm*>& robots);
+                          const std::vector<RobotAlgorithm*>& robots,
+                          const RoundContext& ctx,
+                          std::shared_ptr<const std::vector<InfoPacket>> packets,
+                          ThreadPool* pool);
+
+  /// Re-serializes robot `id`'s persistent state into states_.
+  void refresh_state(RobotId id);
 
   /// Draws the activation mask for one round per options_.activation.
   void draw_activation();

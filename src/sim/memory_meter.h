@@ -1,19 +1,23 @@
 // Persistent-memory metering (Lemma 8 / Theorem 4 audit).
 //
-// After every round the engine serializes each alive robot's persistent
-// state; the meter tracks the maximum bit count over robots and rounds.
+// After every round the engine meters each alive robot's persistent state;
+// the meter tracks the maximum bit count over robots and rounds. The bit
+// counts come from the engine's once-per-round state serialization (the
+// same bytes co-located robots exchange), so metering adds no serialization
+// work of its own.
 #pragma once
 
 #include <cstddef>
-
-#include "sim/algorithm.h"
 
 namespace dyndisp {
 
 class MemoryMeter {
  public:
-  /// Meters one robot's state at the end of a round.
-  void record(const RobotAlgorithm& algo);
+  /// Meters one robot's already-serialized state size at the end of a round.
+  void record_bits(std::size_t bits) {
+    if (bits > max_bits_) max_bits_ = bits;
+    ++samples_;
+  }
 
   /// Maximum bits observed across all robots and rounds.
   std::size_t max_bits() const { return max_bits_; }

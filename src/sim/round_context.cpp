@@ -1,0 +1,48 @@
+#include "sim/round_context.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace dyndisp {
+
+RoundContext::RoundContext(const Configuration& conf,
+                           const std::vector<StateHandle>& states)
+    : index_(robots_by_node(conf)), node_states_(conf.node_count()) {
+  assert(states.size() == conf.robot_count());
+  for (NodeId v = 0; v < conf.node_count(); ++v) {
+    const std::vector<RobotId>& here = index_[v];
+    if (here.empty()) continue;
+    auto list = std::make_shared<std::vector<StateHandle>>();
+    list->reserve(here.size());
+    for (const RobotId id : here) list->push_back(states[id - 1]);
+    node_states_[v] = std::move(list);
+  }
+}
+
+void RoundContext::assemble_packets(const Graph& g, const Configuration& conf,
+                                    bool with_neighborhood,
+                                    const ByzantineModel* byzantine,
+                                    ThreadPool* pool) {
+  assert(!packets_ && "the round's broadcast is assembled exactly once");
+  auto assembled = make_all_packets_metered(g, conf, with_neighborhood,
+                                            index_, &packet_bits_, pool);
+  if (byzantine) byzantine->tamper(assembled);
+  packets_ =
+      std::make_shared<const std::vector<InfoPacket>>(std::move(assembled));
+}
+
+std::shared_ptr<const std::vector<InfoPacket>>
+RoundContext::assemble_candidate_packets(const Graph& g,
+                                         const Configuration& conf,
+                                         bool with_neighborhood,
+                                         const ByzantineModel* byzantine,
+                                         ThreadPool* pool) const {
+  auto assembled = make_all_packets_metered(g, conf, with_neighborhood,
+                                            index_, nullptr, pool);
+  if (byzantine) byzantine->tamper(assembled);
+  return std::make_shared<const std::vector<InfoPacket>>(std::move(assembled));
+}
+
+}  // namespace dyndisp

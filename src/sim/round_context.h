@@ -1,0 +1,82 @@
+// RoundContext: the per-round shared artifacts, each assembled exactly once.
+//
+// One CCM round under global communication needs three shared products:
+//   * the node -> alive-robots index (robots_by_node),
+//   * the per-occupied-node lists of serialized start-of-round states that
+//     co-located robots exchange during Communicate, and
+//   * the packet broadcast for the round's graph, with its wire-bit size.
+// The seed engine rebuilt the index and the broadcast twice per round (once
+// to meter bits, once to plan) and deep-copied state bytes into every view;
+// RoundContext assembles each exactly once and hands out reference-counted
+// handles instead. The index and state lists depend only on the
+// configuration and the robots' states, so one context also serves every
+// candidate graph a trap adversary probes within the round -- probes pay
+// only for their candidate's packet assembly, not for re-serializing robots.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "robots/configuration.h"
+#include "sim/byzantine.h"
+#include "sim/sensing.h"
+
+namespace dyndisp {
+
+class ThreadPool;
+
+class RoundContext {
+ public:
+  /// Builds the graph-independent artifacts: the node index and the shared
+  /// per-node state lists. `states` holds every robot's serialized
+  /// start-of-round state (id-1 indexed; dead robots' entries are unused)
+  /// and must outlive the context.
+  RoundContext(const Configuration& conf, const std::vector<StateHandle>& states);
+
+  const NodeRobots& index() const { return index_; }
+
+  /// The shared state list of node `v` (null for unoccupied nodes), parallel
+  /// to index()[v]. Every view assembled on `v` attaches this same handle.
+  const std::shared_ptr<const std::vector<StateHandle>>& node_states(
+      NodeId v) const {
+    return node_states_[v];
+  }
+
+  /// Assembles the packet broadcast for the round's actual graph exactly
+  /// once: wire bits are metered during assembly (pre-tamper, matching the
+  /// honest-wire-cost metric), then the optional Byzantine model corrupts
+  /// the set, and the result is frozen behind the shared handle every view
+  /// of the round receives. Call at most once per context.
+  void assemble_packets(const Graph& g, const Configuration& conf,
+                        bool with_neighborhood, const ByzantineModel* byzantine,
+                        ThreadPool* pool);
+
+  /// Builds a broadcast for a candidate graph a trap adversary probes,
+  /// without touching the context's own broadcast. Tampering applies (the
+  /// adversary predicts what the robots will actually receive).
+  std::shared_ptr<const std::vector<InfoPacket>> assemble_candidate_packets(
+      const Graph& g, const Configuration& conf, bool with_neighborhood,
+      const ByzantineModel* byzantine, ThreadPool* pool) const;
+
+  /// The round's broadcast; null until assemble_packets (or under local
+  /// communication, where no packets propagate).
+  const std::shared_ptr<const std::vector<InfoPacket>>& packets() const {
+    return packets_;
+  }
+
+  /// Packets in the round's broadcast (== occupied nodes).
+  std::size_t packet_count() const { return packets_ ? packets_->size() : 0; }
+
+  /// Total wire bits of the round's broadcast, metered during assembly.
+  std::size_t packet_bits() const { return packet_bits_; }
+
+ private:
+  NodeRobots index_;
+  std::vector<std::shared_ptr<const std::vector<StateHandle>>> node_states_;
+  std::shared_ptr<const std::vector<InfoPacket>> packets_;
+  std::size_t packet_bits_ = 0;
+};
+
+}  // namespace dyndisp

@@ -1,11 +1,21 @@
 #include "sim/sensing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "util/bits.h"
+#include "util/parallel.h"
 
 namespace dyndisp {
+
+namespace {
+std::atomic<std::size_t> g_packet_assemblies{0};
+}  // namespace
+
+std::size_t packet_assembly_count() {
+  return g_packet_assemblies.load(std::memory_order_relaxed);
+}
 
 NodeRobots robots_by_node(const Configuration& conf) {
   NodeRobots index(conf.node_count());
@@ -52,12 +62,38 @@ std::vector<InfoPacket> make_all_packets(const Graph& g,
     local = robots_by_node(conf);
     index = &local;
   }
-  std::vector<InfoPacket> packets;
+  return make_all_packets_metered(g, conf, with_neighborhood, *index,
+                                  nullptr, nullptr);
+}
+
+std::vector<InfoPacket> make_all_packets_metered(const Graph& g,
+                                                 const Configuration& conf,
+                                                 bool with_neighborhood,
+                                                 const NodeRobots& index,
+                                                 std::size_t* wire_bits,
+                                                 ThreadPool* pool) {
+  g_packet_assemblies.fetch_add(1, std::memory_order_relaxed);
+  std::vector<NodeId> senders;
+  senders.reserve(conf.occupied_count());
   for (NodeId v = 0; v < conf.node_count(); ++v)
-    if (!(*index)[v].empty())
-      packets.push_back(make_packet(g, conf, v, with_neighborhood, index));
+    if (!index[v].empty()) senders.push_back(v);
+
+  std::vector<InfoPacket> packets(senders.size());
+  std::vector<std::size_t> bits(wire_bits ? senders.size() : 0);
+  const std::size_t k = conf.robot_count();
+  const std::size_t n = conf.node_count();
+  parallel_for(pool, senders.size(), [&](std::size_t i) {
+    packets[i] = make_packet(g, conf, senders[i], with_neighborhood, &index);
+    if (wire_bits) bits[i] = packet_bit_size(packets[i], k, n);
+  });
+  if (wire_bits) {
+    std::size_t total = 0;
+    for (const std::size_t b : bits) total += b;
+    *wire_bits = total;
+  }
   // Assembly order is node-ascending; re-sort by sender ID for a canonical
-  // order that does not leak node identities.
+  // order that does not leak node identities. Senders are unique (one packet
+  // per node over disjoint robot sets), so the order is deterministic.
   std::sort(packets.begin(), packets.end(),
             [](const InfoPacket& a, const InfoPacket& b) {
               return a.sender < b.sender;

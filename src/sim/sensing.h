@@ -19,10 +19,18 @@
 
 namespace dyndisp {
 
+class ThreadPool;
+
 enum class CommModel {
   kLocal,   ///< A robot talks only to robots on its own node.
   kGlobal,  ///< A robot talks to every robot in the graph.
 };
+
+/// Reference-counted handle to one robot's serialized persistent state.
+/// Serialized once per robot per round and shared by every view that carries
+/// it; copying the byte vector per view would make crowded rounds Theta(k^2)
+/// in state volume.
+using StateHandle = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 /// Everything one robot observes in the Communicate phase of one round.
 struct RobotView {
@@ -42,7 +50,15 @@ struct RobotView {
   /// robot ID (parallel to `colocated`), as at the START of the round.
   /// Local communication lets same-node robots exchange arbitrary state;
   /// the DFS baselines read the settled robot's parent/rotor through this.
-  std::vector<std::vector<std::uint8_t>> colocated_states;
+  /// The list is assembled once per occupied node and shared by every robot
+  /// standing there (a zero-copy handle, like `shared_packets`); null when
+  /// the engine has no states to exchange (bare make_view results).
+  std::shared_ptr<const std::vector<StateHandle>> colocated_states;
+
+  /// The serialized state of the i-th co-located robot (`colocated[i]`).
+  const std::vector<std::uint8_t>& colocated_state(std::size_t i) const {
+    return *(*colocated_states)[i];
+  }
 
   bool neighborhood_knowledge = false;
   /// Occupied neighbors of the robot's own node, port-ascending.
@@ -86,6 +102,24 @@ std::vector<InfoPacket> make_all_packets(const Graph& g,
                                          const Configuration& conf,
                                          bool with_neighborhood,
                                          const NodeRobots* index = nullptr);
+
+/// Single-pass broadcast assembly: builds all packets AND meters their total
+/// wire size in the same traversal (when `wire_bits` is non-null), fanning
+/// per-node packet construction across `pool` when one is supplied. Output
+/// is identical to make_all_packets at any thread count: packets are built
+/// into sender-unique slots and canonically re-sorted by sender ID.
+std::vector<InfoPacket> make_all_packets_metered(const Graph& g,
+                                                 const Configuration& conf,
+                                                 bool with_neighborhood,
+                                                 const NodeRobots& index,
+                                                 std::size_t* wire_bits,
+                                                 ThreadPool* pool = nullptr);
+
+/// Process-wide count of broadcast assemblies (make_all_packets and
+/// make_all_packets_metered calls). Test hook: the engine must assemble the
+/// broadcast exactly once per executed round, so for a non-probing adversary
+/// the delta across a run equals the number of rounds executed.
+std::size_t packet_assembly_count();
 
 /// Wire size of one packet in bits, for the communication-cost metric:
 /// robot IDs and counts cost ceil(log2(k+1)) bits, ports and degrees

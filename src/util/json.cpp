@@ -1,0 +1,124 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dyndisp {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+
+void JsonWriter::indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::comma_and_indent(bool is_value) {
+  if (after_key_) {
+    // The key already positioned us; the value follows inline.
+    after_key_ = false;
+    return;
+  }
+  assert((stack_.empty() || stack_.back() == Scope::kArray || !is_value) &&
+         "object members need a key()");
+  (void)is_value;
+  if (!first_in_scope_) out_ << ',';
+  if (!stack_.empty()) indent();
+  first_in_scope_ = false;
+}
+
+void JsonWriter::begin_object() {
+  comma_and_indent(true);
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  stack_.pop_back();
+  if (!first_in_scope_) indent();
+  out_ << '}';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::begin_array() {
+  comma_and_indent(true);
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  if (!first_in_scope_) indent();
+  out_ << ']';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::key(const std::string& name) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  assert(!after_key_);
+  comma_and_indent(false);
+  out_ << '"' << json_escape(name) << "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_and_indent(true);
+  out_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma_and_indent(true);
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_and_indent(true);
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_and_indent(true);
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  comma_and_indent(true);
+  out_ << (v ? "true" : "false");
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer so benches can emit machine-readable perf
+// trajectories (BENCH_*.json) alongside their ASCII tables -- the JSON
+// sibling of util/csv.h. Values are written depth-first; the writer manages
+// commas and indentation, the caller guarantees well-formed nesting
+// (asserted in debug builds).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dyndisp {
+
+/// Escapes a string for embedding in a JSON document (without quotes).
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer. The document is
+  /// complete when every begin_* has been matched by its end_*.
+  explicit JsonWriter(std::ostream& out);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or begin_*.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  void member(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void comma_and_indent(bool is_value);
+  void indent();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  bool first_in_scope_ = true;
+  bool after_key_ = false;
+};
+
+}  // namespace dyndisp

@@ -1,0 +1,91 @@
+#include "util/parallel.h"
+
+namespace dyndisp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t lanes = threads < 1 ? 1 : threads;
+  chunks_.resize(lanes);
+  workers_.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(Chunk& chunk) {
+  try {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) (*body_)(i);
+  } catch (...) {
+    chunk.error = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    run_chunk(chunks_[lane]);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t lanes = chunks_.size();
+  if (lanes == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    for (std::size_t c = 0; c < lanes; ++c) {
+      chunks_[c].begin = c * count / lanes;
+      chunks_[c].end = (c + 1) * count / lanes;
+      chunks_[c].error = nullptr;
+    }
+    pending_ = lanes - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  run_chunk(chunks_[0]);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+  // Chunks are index-ordered, and each chunk records its first (smallest-
+  // index) failure, so the first non-null error is the sequential one.
+  for (Chunk& chunk : chunks_) {
+    if (chunk.error) std::rethrow_exception(chunk.error);
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || pool->thread_count() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool->for_each(count, body);
+}
+
+}  // namespace dyndisp

@@ -1,0 +1,72 @@
+// A small, work-stealing-free thread pool for the engine's per-robot fan-out.
+//
+// The simulator's parallelism is embarrassingly regular: once per round, the
+// same O(1)-to-O(k) body runs for every robot index (view assembly, then
+// step()). A static contiguous partition of [0, count) -- one chunk per
+// thread, no stealing, no dynamic scheduling -- keeps the execution order
+// within each chunk sequential and the set of indices per thread a pure
+// function of (count, thread_count). Combined with bodies that only write
+// state owned by their index, results are bitwise identical at any thread
+// count, which is the contract EngineOptions::threads promises.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyndisp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` persistent workers (the calling thread is the
+  /// remaining lane). `threads` is clamped to at least 1.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total lanes, including the caller's.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [0, count) and blocks until all are done.
+  /// Lane c executes the contiguous chunk [c*count/T, (c+1)*count/T) in
+  /// ascending order; the caller runs chunk 0 itself. body must not touch
+  /// state owned by another index unless that access is read-only. If bodies
+  /// throw, the exception of the smallest faulting index is rethrown on the
+  /// calling thread (matching what a sequential loop would have surfaced).
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop(std::size_t lane);
+  void run_chunk(Chunk& chunk);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::vector<Chunk> chunks_;        // one per lane; lane 0 is the caller
+  std::size_t generation_ = 0;       // bumped per for_each dispatch
+  std::size_t pending_ = 0;          // worker chunks not yet finished
+  bool shutdown_ = false;
+};
+
+/// Convenience: fans body over [0, count) on `pool`, or runs the plain
+/// sequential loop when pool is null (the threads = 1 path, zero overhead).
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace dyndisp

@@ -1,0 +1,209 @@
+// Tests for the compute-phase thread pool and the determinism contract of
+// EngineOptions::threads: the same run must produce a bitwise-identical
+// RunResult at any thread count, for every Table-I model row, including
+// probe-driven trap adversaries. Also pins the single-assembly invariant of
+// the round pipeline (packets built exactly once per executed round).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/blind_walk.h"
+#include "baselines/dfs_dispersion.h"
+#include "baselines/greedy_local.h"
+#include "core/dispersion.h"
+#include "dynamic/path_trap_adversary.h"
+#include "dynamic/random_adversary.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+#include "sim/sensing.h"
+#include "util/parallel.h"
+
+namespace dyndisp {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, HandlesCountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.for_each(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, CountZeroRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_each(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::atomic<int>> hits(10);
+  pool.for_each(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossDispatches) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.for_each(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 50L * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, RethrowsLowestFaultingIndex) {
+  // Indices 5 (caller's chunk) and 700 (a worker's chunk) both throw; the
+  // sequential loop would have surfaced index 5 first, so for_each must too.
+  ThreadPool pool(4);
+  try {
+    pool.for_each(1000, [](std::size_t i) {
+      if (i == 5 || i == 700) throw std::runtime_error("idx " + std::to_string(i));
+    });
+    FAIL() << "expected for_each to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "idx 5");
+  }
+}
+
+TEST(ThreadPool, PropagatesWorkerOnlyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each(1000,
+                             [](std::size_t i) {
+                               if (i == 900) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SurvivesAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each(100,
+                             [](std::size_t i) {
+                               if (i == 50) throw std::runtime_error("once");
+                             }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.for_each(100, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelFor, NullPoolRunsSequentiallyInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 20, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(20);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+// ---- Engine determinism across thread counts ----
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.dispersed, b.dispersed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.max_memory_bits, b.max_memory_bits);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packet_bits_sent, b.packet_bits_sent);
+  EXPECT_EQ(a.stalled_rounds, b.stalled_rounds);
+  EXPECT_EQ(a.max_occupied, b.max_occupied);
+  EXPECT_EQ(a.explored_nodes, b.explored_nodes);
+  EXPECT_EQ(a.exploration_round, b.exploration_round);
+  EXPECT_TRUE(a.final_config == b.final_config);
+}
+
+struct ModelRow {
+  const char* label;
+  CommModel comm;
+  bool neighborhood;
+  AlgorithmFactory factory;
+};
+
+RunResult run_row(const ModelRow& row, std::size_t threads) {
+  const std::size_t n = 36, k = 24;
+  RandomAdversary adv(n, n / 3, 7);
+  EngineOptions opt;
+  opt.comm = row.comm;
+  opt.neighborhood_knowledge = row.neighborhood;
+  opt.threads = threads;
+  opt.max_rounds = 200;
+  Engine engine(adv, placement::rooted(n, k), row.factory, opt);
+  return engine.run();
+}
+
+TEST(ThreadDeterminism, AllTableOneModelRows) {
+  // One algorithm per Table-I model row, each under its native model; the
+  // memoized planner additionally exercises the PlanCache mutex from many
+  // threads at once.
+  const ModelRow rows[] = {
+      {"global+nbhd (Algorithm 4, memoized)", CommModel::kGlobal, true,
+       core::dispersion_factory_memoized()},
+      {"global-only (blind walk)", CommModel::kGlobal, false,
+       baselines::blind_walk_factory()},
+      {"local-only (DFS dispersion)", CommModel::kLocal, false,
+       baselines::dfs_dispersion_factory()},
+      {"local+nbhd (greedy)", CommModel::kLocal, true,
+       baselines::greedy_local_factory()},
+  };
+  for (const ModelRow& row : rows) {
+    const RunResult serial = run_row(row, 1);
+    expect_identical(serial, run_row(row, 2), row.label);
+    expect_identical(serial, run_row(row, 8), row.label);
+  }
+}
+
+TEST(ThreadDeterminism, ProbeDrivenTrapAdversary) {
+  // The path trap dry-runs cloned robots against candidate graphs through
+  // Engine::probe_plan, which shares the round's state snapshots and the
+  // pool; its choices (and hence the whole run) must not depend on threads.
+  auto run_trap = [](std::size_t threads) {
+    const std::size_t n = 12, k = 6;
+    PathTrapAdversary adv(n);
+    EngineOptions opt;
+    opt.comm = CommModel::kLocal;
+    opt.neighborhood_knowledge = true;
+    opt.threads = threads;
+    opt.max_rounds = 120;
+    Engine engine(adv, placement::figure1(n, k),
+                  baselines::greedy_local_factory(), opt);
+    return engine.run();
+  };
+  const RunResult serial = run_trap(1);
+  EXPECT_FALSE(serial.dispersed);  // the trap must still work
+  expect_identical(serial, run_trap(2), "path trap, 2 threads");
+  expect_identical(serial, run_trap(8), "path trap, 8 threads");
+}
+
+// ---- Single-assembly invariant ----
+
+TEST(RoundPipeline, PacketsAssembledExactlyOncePerRound) {
+  // RandomAdversary never probes, so the only assemblies are the per-round
+  // broadcasts: the global counter must advance by exactly r.rounds.
+  const std::size_t n = 36, k = 24;
+  RandomAdversary adv(n, n / 3, 7);
+  EngineOptions opt;
+  opt.max_rounds = 200;
+  Engine engine(adv, placement::rooted(n, k),
+                core::dispersion_factory_memoized(), opt);
+  const std::size_t before = packet_assembly_count();
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.dispersed);
+  EXPECT_EQ(packet_assembly_count() - before, r.rounds);
+}
+
+}  // namespace
+}  // namespace dyndisp

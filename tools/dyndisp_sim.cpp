@@ -66,6 +66,8 @@ flags (all optional):
   --activation P       semi-synchronous activation probability (default 1.0)
   --scheduler S        sync | round-robin (default sync; round-robin
                        activates one robot per round)
+  --threads T          compute-phase worker threads (default 1; results
+                       are identical at any thread count)
   --faults F           robots to crash at random rounds (default 0)
   --liars L            Byzantine liars (robots 1..L) (default 0)
   --lie KIND           hide-multiplicity | hide-empty | erratic
@@ -203,6 +205,7 @@ int main(int argc, char** argv) {
 
     EngineOptions options;
     options.max_rounds = args.get_uint("max-rounds", 100 * k);
+    options.threads = args.get_uint("threads", 1);
     const std::string comm =
         args.get("comm", algo.needs_global ? "global" : "local");
     options.comm = comm == "global" ? CommModel::kGlobal : CommModel::kLocal;
