@@ -1,7 +1,8 @@
-#!/usr/bin/env sh
-# One-command reproduction: configure, build, run the full test suite, and
-# regenerate every table/figure, recording the outputs at the repo root.
-set -eu
+#!/usr/bin/env bash
+# One-command reproduction: configure, build, run the full test suite,
+# regenerate every table/figure, and smoke-run the Table-I campaign,
+# recording the outputs at the repo root. Fails fast on the first error.
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
@@ -23,4 +24,12 @@ echo "===== build/bench/bench_roundtime --json =====" | tee -a bench_output.txt
 build/bench/bench_roundtime --json --out=BENCH_roundtime.json 2>&1 |
   tee -a bench_output.txt
 
-echo "done: test_output.txt, bench_output.txt, BENCH_roundtime.json"
+# Smoke-mode Table-I campaign: 2 seeds per tuple through the declarative
+# sweep engine (spec -> scheduler -> JSONL store -> aggregate report).
+rm -rf campaign_out/table1_smoke
+build/tools/dyndisp_campaign run campaigns/table1.json --seeds 2 --quiet \
+  --out campaign_out/table1_smoke 2>&1 | tee campaign_output.txt
+build/tools/dyndisp_campaign report campaign_out/table1_smoke 2>&1 |
+  tee -a campaign_output.txt
+
+echo "done: test_output.txt, bench_output.txt, BENCH_roundtime.json, campaign_output.txt"

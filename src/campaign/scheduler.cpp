@@ -1,0 +1,119 @@
+#include "campaign/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace dyndisp::campaign {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
+                             std::size_t threads, std::ostream* progress) {
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const std::string spec_hash = spec.hash();
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  // Resume: every job whose id already has a record is skipped. Records
+  // carrying a different spec hash mean the directory belongs to another
+  // campaign -- refuse rather than silently mixing result sets.
+  std::unordered_set<std::string> done;
+  for (const TrialRecord& record : store.load()) {
+    if (record.spec_hash != spec_hash)
+      throw std::invalid_argument(
+          "result store " + store.dir() + " holds records of a different "
+          "campaign (spec hash " + record.spec_hash + " != " + spec_hash +
+          ")");
+    done.insert(record.job.id());
+  }
+
+  std::vector<const JobSpec*> pending;
+  pending.reserve(jobs.size());
+  for (const JobSpec& job : jobs)
+    if (!done.count(job.id())) pending.push_back(&job);
+
+  CampaignOutcome outcome;
+  outcome.total = jobs.size();
+  outcome.skipped = jobs.size() - pending.size();
+
+  store.initialize(spec);
+
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> reported{0};
+  std::mutex progress_mu;
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  parallel_for(pool.get(), pending.size(), [&](std::size_t i) {
+    const JobSpec& job = *pending[i];
+    TrialRecord record;
+    record.job = job;
+    record.spec_hash = spec_hash;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const analysis::TrialSpec trial = make_trial_spec(job);
+      const RunResult result = analysis::run_trial(trial, job.seed);
+      record.dispersed = result.dispersed;
+      record.rounds = result.rounds;
+      record.moves = result.total_moves;
+      record.memory_bits = result.max_memory_bits;
+      record.max_occupied = result.max_occupied;
+      record.crashed = result.crashed;
+    } catch (const std::exception& e) {
+      record.ok = false;
+      record.error = e.what();
+      failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    record.wall_ms = ms_since(start);
+    store.append(record);
+    // Progress is monotonic: the counter only grows, and each line is
+    // emitted under the lock with the value it claimed.
+    if (progress != nullptr) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      const std::size_t n = reported.fetch_add(1) + 1;
+      (*progress) << "[" << done.size() + n << "/" << jobs.size() << "] "
+                  << job.id()
+                  << (record.ok
+                          ? (record.dispersed ? "  dispersed in " +
+                                                    std::to_string(record.rounds) +
+                                                    " rounds"
+                                              : "  NOT dispersed (" +
+                                                    std::to_string(record.rounds) +
+                                                    " rounds)")
+                          : "  FAILED: " + record.error)
+                  << "\n";
+      progress->flush();
+    }
+  });
+
+  outcome.executed = pending.size();
+  outcome.failed = failed.load();
+  outcome.completed = outcome.skipped + outcome.executed;
+  outcome.wall_ms = ms_since(campaign_start);
+
+  RunCounters counters;
+  counters.executed = outcome.executed;
+  counters.skipped = outcome.skipped;
+  counters.failed = outcome.failed;
+  counters.wall_ms = outcome.wall_ms;
+  store.record_run(spec, outcome.total, outcome.completed, counters);
+  return outcome;
+}
+
+}  // namespace dyndisp::campaign

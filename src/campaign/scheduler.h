@@ -1,0 +1,37 @@
+// The campaign scheduler: expands a spec into its job list, subtracts the
+// jobs already present in the result store (resume), and fans the rest over
+// the util/parallel.h ThreadPool. Each job is isolated -- a throwing trial
+// produces a failure record instead of aborting the campaign -- and progress
+// is reported monotonically as jobs complete. Aggregate results are a pure
+// function of the record set (see store.h), so a campaign run at any thread
+// count produces the identical report.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "campaign/spec.h"
+#include "campaign/store.h"
+
+namespace dyndisp::campaign {
+
+/// Outcome of one run_campaign invocation. `completed` counts all records in
+/// the store afterwards (executed + previously present).
+struct CampaignOutcome {
+  std::size_t total = 0;     ///< Jobs in the spec's expansion.
+  std::size_t executed = 0;  ///< Trials run by this invocation.
+  std::size_t skipped = 0;   ///< Jobs already in the store (resume).
+  std::size_t failed = 0;    ///< Executed trials that threw.
+  std::size_t completed = 0;
+  double wall_ms = 0.0;      ///< Wall time of this invocation only.
+};
+
+/// Runs (or resumes) `spec` against `store` with `threads` worker lanes.
+/// Throws std::invalid_argument if the store holds records of a different
+/// campaign (spec-hash mismatch). Writes the spec copy and the manifest;
+/// when `progress` is non-null, one line per completed job is streamed to it.
+CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
+                             std::size_t threads,
+                             std::ostream* progress = nullptr);
+
+}  // namespace dyndisp::campaign

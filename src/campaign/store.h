@@ -1,0 +1,117 @@
+// The campaign result store: one JSONL record per trial plus a manifest,
+// laid out as
+//
+//   <dir>/spec.json       copy of the spec the store was created from
+//   <dir>/results.jsonl   one self-contained JSON object per line/trial
+//   <dir>/manifest.json   campaign identity + per-invocation run counters
+//
+// Records are appended under a mutex and flushed per line, so a campaign
+// killed mid-run leaves a readable store; `load()` tolerates a torn final
+// line. Resume works by skipping every job whose id already has a record.
+// The aggregator folds records (in job-index order, so floating-point
+// accumulation is identical regardless of the thread count or completion
+// order that produced the store) into util/stats.h summaries grouped by
+// tuple, rendered as the usual ASCII/CSV tables.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.h"
+#include "util/stats.h"
+
+namespace dyndisp::campaign {
+
+/// One trial outcome, as persisted. `ok == false` means the trial threw;
+/// `error` holds the message and the metric fields are meaningless.
+struct TrialRecord {
+  JobSpec job;
+  std::string spec_hash;
+  bool ok = true;
+  std::string error;
+  bool dispersed = false;
+  std::uint64_t rounds = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t memory_bits = 0;
+  std::uint64_t max_occupied = 0;
+  std::uint64_t crashed = 0;
+  double wall_ms = 0.0;
+};
+
+/// Counters for one scheduler invocation, recorded in the manifest's
+/// "runs" array (the audit trail that proves a resume did not re-run
+/// finished trials: its wall_ms only covers the jobs it executed).
+struct RunCounters {
+  std::size_t executed = 0;
+  std::size_t skipped = 0;
+  std::size_t failed = 0;
+  double wall_ms = 0.0;
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store directory. No files are written
+  /// until initialize() or append().
+  explicit ResultStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string spec_path() const { return dir_ + "/spec.json"; }
+  std::string results_path() const { return dir_ + "/results.jsonl"; }
+  std::string manifest_path() const { return dir_ + "/manifest.json"; }
+
+  /// Writes the spec copy (if not already present) so `resume <dir>` needs
+  /// no other input.
+  void initialize(const CampaignSpec& spec);
+
+  /// Loads all complete records currently on disk (empty if none). A
+  /// truncated trailing line -- the signature of a killed run -- is ignored.
+  std::vector<TrialRecord> load() const;
+
+  /// Appends one record and flushes it; safe to call from worker threads.
+  void append(const TrialRecord& record);
+
+  /// Rewrites the manifest: campaign identity, job totals, completion count,
+  /// and the full history of run counters (previous runs are preserved and
+  /// `latest` is appended).
+  void record_run(const CampaignSpec& spec, std::size_t total_jobs,
+                  std::size_t completed, const RunCounters& latest);
+
+  /// Run counters parsed back from the manifest (empty if no manifest).
+  std::vector<RunCounters> run_history() const;
+
+ private:
+  std::string dir_;
+  std::mutex mu_;
+  std::ofstream out_;  ///< Lazily opened append handle for results.jsonl.
+};
+
+/// Per-tuple aggregate of a campaign's records (seeds folded together).
+struct GroupSummary {
+  JobSpec tuple;  ///< Representative job; its seed field is meaningless.
+  Summary rounds;
+  Summary moves;
+  Summary memory_bits;
+  Summary max_occupied;
+  std::size_t dispersed = 0;
+  std::size_t trials = 0;
+  std::size_t failed = 0;
+  double wall_ms = 0.0;
+};
+
+/// Groups records by (algorithm, adversary, n, k, comm, faults) in job-index
+/// order. Records are first sorted by job index so the aggregate is a pure
+/// function of the record set.
+std::vector<GroupSummary> aggregate(std::vector<TrialRecord> records);
+
+/// ASCII report table over the aggregated groups.
+std::string render_report(const std::string& campaign_name,
+                          const std::vector<GroupSummary>& groups);
+
+/// CSV export of the aggregated groups.
+void write_report_csv(const std::string& path,
+                      const std::vector<GroupSummary>& groups);
+
+}  // namespace dyndisp::campaign

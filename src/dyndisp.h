@@ -9,6 +9,10 @@
 #include "baselines/dfs_dispersion.h"  // IWYU pragma: export
 #include "baselines/greedy_local.h"    // IWYU pragma: export
 #include "baselines/random_walk.h"     // IWYU pragma: export
+#include "campaign/registry.h"         // IWYU pragma: export
+#include "campaign/scheduler.h"        // IWYU pragma: export
+#include "campaign/spec.h"             // IWYU pragma: export
+#include "campaign/store.h"            // IWYU pragma: export
 #include "core/component.h"            // IWYU pragma: export
 #include "core/disjoint_paths.h"       // IWYU pragma: export
 #include "core/dispersion.h"           // IWYU pragma: export

@@ -1,19 +1,69 @@
-// Minimal streaming JSON writer so benches can emit machine-readable perf
-// trajectories (BENCH_*.json) alongside their ASCII tables -- the JSON
-// sibling of util/csv.h. Values are written depth-first; the writer manages
-// commas and indentation, the caller guarantees well-formed nesting
-// (asserted in debug builds).
+// Minimal JSON support: a streaming writer so benches can emit
+// machine-readable perf trajectories (BENCH_*.json) alongside their ASCII
+// tables -- the JSON sibling of util/csv.h -- and a small document reader
+// (JsonValue) so campaign specs, manifests, and JSONL result stores can be
+// parsed back in. The writer emits values depth-first and manages commas
+// and indentation; the caller guarantees well-formed nesting (asserted in
+// debug builds). The reader is a strict recursive-descent parser over the
+// JSON grammar (no comments, no trailing commas) that throws
+// std::invalid_argument with a line/column location on malformed input.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dyndisp {
 
 /// Escapes a string for embedding in a JSON document (without quotes).
 std::string json_escape(const std::string& s);
+
+/// An immutable parsed JSON document node. Object member order is preserved
+/// so iteration (and anything derived from it, e.g. campaign job expansion)
+/// is deterministic and independent of hash seeds.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document; trailing non-whitespace is an error.
+  /// Throws std::invalid_argument with "line L col C" context on failure.
+  static JsonValue parse(const std::string& text);
+
+  JsonValue() : type_(Type::kNull) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number() narrowed to a non-negative integer (rejects fractions).
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; null when absent or when this is not an object.
+  const JsonValue* find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
 
 class JsonWriter {
  public:

@@ -1,0 +1,432 @@
+// Campaign engine: spec parsing/validation, deterministic expansion, the
+// registry, the JSONL result store (resume + torn lines), the scheduler's
+// per-job isolation, and thread-count-independent aggregation.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "campaign/registry.h"
+#include "campaign/scheduler.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "util/json.h"
+
+namespace dyndisp::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test case, removed up-front so reruns are
+/// clean.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("dyndisp_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+constexpr const char* kSmallSpec = R"({
+  "name": "small",
+  "axes": {
+    "algorithms": ["alg4"],
+    "adversaries": ["random"],
+    "n": [12],
+    "k": [6]
+  },
+  "seeds": 4
+})";
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(JsonReader, ParsesDocument) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2.5, -3], "b": {"x": "he\"llo\n"}, "c": true, "d": null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 4u);
+  EXPECT_EQ(v.members()[0].first, "a");  // member order preserved
+  EXPECT_EQ(v.members()[3].first, "d");
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->items()[2].as_number(), -3.0);
+  EXPECT_EQ(a->items()[0].as_uint(), 1u);
+  EXPECT_EQ(v.find("b")->find("x")->as_string(), "he\"llo\n");
+  EXPECT_TRUE(v.find("c")->as_bool());
+  EXPECT_TRUE(v.find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, ParsesEscapesAndUnicode) {
+  const JsonValue v = JsonValue::parse(R"("A\t\\é")");
+  EXPECT_EQ(v.as_string(), "A\t\\\xC3\xA9");
+}
+
+TEST(JsonReader, RejectsMalformed) {
+  const char* bad[] = {
+      "",           "{",       "[1,]",        "{\"a\": }", "{\"a\" 1}",
+      "{'a': 1}",   "tru",     "01x",         "\"unterminated",
+      "{\"a\":1} trailing", "[1 2]", "{\"a\":1,}", "\"bad\\q\"",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(JsonValue::parse(text), std::invalid_argument)
+        << "accepted: " << text;
+  }
+}
+
+TEST(JsonReader, RejectsTypeMismatch) {
+  const JsonValue v = JsonValue::parse("[1, -2]");
+  EXPECT_THROW(v.as_string(), std::invalid_argument);
+  EXPECT_THROW(v.members(), std::invalid_argument);
+  EXPECT_THROW(v.items()[1].as_uint(), std::invalid_argument);  // negative
+  EXPECT_THROW(JsonValue::parse("1.5").as_uint(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, ListsAndResolvesEveryName) {
+  const Registry& registry = Registry::instance();
+  for (const std::string& name : registry.algorithm_names()) {
+    EXPECT_TRUE(registry.has_algorithm(name));
+    EXPECT_NE(registry.algorithm(name, 1).factory, nullptr);
+  }
+  for (const std::string& name : registry.adversary_names())
+    EXPECT_NE(registry.adversary(name, "random", 10, 1), nullptr);
+  for (const std::string& name : registry.family_names())
+    EXPECT_GT(registry.family(name, 10, 1).node_count(), 0u);
+  for (const std::string& name : registry.placement_names()) {
+    if (name == "grouped") continue;  // needs groups <= k
+    EXPECT_EQ(registry.placement(name, 12, 6, 3, 1).robot_count(), 6u);
+  }
+  // The names dyndisp_sim documents are all present.
+  EXPECT_TRUE(registry.has_algorithm("alg4"));
+  EXPECT_TRUE(registry.has_algorithm("dfs"));
+  EXPECT_TRUE(registry.has_adversary("star-star"));
+  EXPECT_TRUE(registry.has_family("grid"));
+  EXPECT_TRUE(registry.has_placement("rooted"));
+}
+
+TEST(Registry, ThrowsOnUnknownNames) {
+  const Registry& registry = Registry::instance();
+  EXPECT_THROW(registry.algorithm("nope", 1), std::invalid_argument);
+  EXPECT_THROW(registry.adversary("nope", "random", 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(registry.family("nope", 10, 1), std::invalid_argument);
+  EXPECT_THROW(registry.placement("nope", 10, 5, 3, 1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing + expansion
+
+TEST(CampaignSpec, ParsesAxesAndCountsJobs) {
+  const CampaignSpec spec = CampaignSpec::parse_json(R"({
+    "name": "grid",
+    "axes": {
+      "algorithms": ["alg4", "dfs"],
+      "adversaries": ["random", "static"],
+      "n": [12],
+      "k": [6, 8],
+      "faults": [0, 2]
+    },
+    "seeds": 3,
+    "base_seed": 5
+  })");
+  EXPECT_EQ(spec.name(), "grid");
+  EXPECT_EQ(spec.job_count(), 2u * 2u * 1u * 2u * 2u * 3u);
+  EXPECT_EQ(spec.expand().size(), spec.job_count());
+}
+
+TEST(CampaignSpec, ExpansionIsDeterministicAndOrdered) {
+  const CampaignSpec spec = CampaignSpec::parse_json(R"({
+    "name": "order",
+    "axes": {
+      "algorithms": ["alg4", "dfs"],
+      "adversaries": ["random"],
+      "n": [10],
+      "k": [5],
+      "faults": [0, 1]
+    },
+    "seeds": 2
+  })");
+  const std::vector<JobSpec> a = spec.expand();
+  const std::vector<JobSpec> b = spec.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id(), b[i].id());
+    EXPECT_EQ(a[i].index, i);
+  }
+  // Fixed nesting: algorithm > adversary > n > k > comm > faults > seed.
+  EXPECT_EQ(a[0].id(), "alg4|random|n=10|k=5|comm=default|f=0|seed=1");
+  EXPECT_EQ(a[1].id(), "alg4|random|n=10|k=5|comm=default|f=0|seed=2");
+  EXPECT_EQ(a[2].id(), "alg4|random|n=10|k=5|comm=default|f=1|seed=1");
+  EXPECT_EQ(a[4].id(), "dfs|random|n=10|k=5|comm=default|f=0|seed=1");
+}
+
+TEST(CampaignSpec, DerivesKFromNWhenOmitted) {
+  const CampaignSpec spec = CampaignSpec::parse_json(
+      R"({"name": "defk", "axes": {"n": [20]}})");
+  const std::vector<JobSpec> jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].k, 13u);  // max(2, 2*20/3), the dyndisp_sim default
+  EXPECT_EQ(jobs[0].effective_max_rounds(), 100u * 13u);
+}
+
+TEST(CampaignSpec, RejectsUnknownNamesAndMalformedInput) {
+  EXPECT_THROW(CampaignSpec::parse_json("{\"axes\": {}}"),
+               std::invalid_argument);  // no name
+  EXPECT_THROW(CampaignSpec::parse_json("not json at all"),
+               std::invalid_argument);
+  EXPECT_THROW(CampaignSpec::parse_json("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(
+          R"({"name": "x", "axes": {"algorithms": ["alg9000"]}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(
+          R"({"name": "x", "axes": {"adversaries": ["nope"]}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(R"({"name": "x", "family": "nope"})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(R"({"name": "x", "placement": "nope"})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(
+          R"({"name": "x", "axes": {"comm": ["telepathy"]}})"),
+      std::invalid_argument);
+  EXPECT_THROW(CampaignSpec::parse_json(R"({"name": "x", "typo_key": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(R"({"name": "x", "axes": {"typo_axis": []}})"),
+      std::invalid_argument);
+  EXPECT_THROW(CampaignSpec::parse_json(R"({"name": "x", "seeds": 0})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CampaignSpec::parse_json(R"({"name": "x", "axes": {"n": [-4]}})"),
+      std::invalid_argument);
+}
+
+TEST(CampaignSpec, HashIgnoresSeedRangeButNotAxes) {
+  const CampaignSpec a =
+      CampaignSpec::parse_json(R"({"name": "h", "seeds": 2})");
+  const CampaignSpec b =
+      CampaignSpec::parse_json(R"({"name": "h", "seeds": 9})");
+  const CampaignSpec c = CampaignSpec::parse_json(
+      R"({"name": "h", "axes": {"faults": [1]}, "seeds": 2})");
+  EXPECT_EQ(a.hash(), b.hash());  // extending seeds resumes the same store
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+// ---------------------------------------------------------------------------
+// Store + scheduler
+
+TEST(Campaign, RunPersistsOneRecordPerTrial) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  ResultStore store(scratch_dir("run"));
+  const CampaignOutcome outcome = run_campaign(spec, store, 1);
+  EXPECT_EQ(outcome.total, 4u);
+  EXPECT_EQ(outcome.executed, 4u);
+  EXPECT_EQ(outcome.skipped, 0u);
+  EXPECT_EQ(outcome.failed, 0u);
+
+  const std::vector<TrialRecord> records = store.load();
+  ASSERT_EQ(records.size(), 4u);
+  for (const TrialRecord& r : records) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.dispersed);
+    EXPECT_EQ(r.spec_hash, spec.hash());
+    EXPECT_GT(r.rounds, 0u);
+    EXPECT_GE(r.wall_ms, 0.0);
+  }
+  // The spec copy and manifest exist and parse.
+  EXPECT_TRUE(std::filesystem::exists(store.spec_path()));
+  const std::vector<RunCounters> runs = store.run_history();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].executed, 4u);
+  EXPECT_GT(runs[0].wall_ms, 0.0);
+}
+
+TEST(Campaign, RecordsMatchDirectTrialRuns) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  ResultStore store(scratch_dir("direct"));
+  run_campaign(spec, store, 2);
+  for (const TrialRecord& r : store.load()) {
+    const RunResult direct =
+        analysis::run_trial(make_trial_spec(r.job), r.job.seed);
+    EXPECT_EQ(r.dispersed, direct.dispersed) << r.job.id();
+    EXPECT_EQ(r.rounds, direct.rounds) << r.job.id();
+    EXPECT_EQ(r.moves, direct.total_moves) << r.job.id();
+    EXPECT_EQ(r.memory_bits, direct.max_memory_bits) << r.job.id();
+  }
+}
+
+TEST(Campaign, AggregateIsIdenticalAtAnyThreadCount) {
+  const CampaignSpec spec = CampaignSpec::parse_json(R"({
+    "name": "threads",
+    "axes": {
+      "algorithms": ["alg4", "dfs"],
+      "adversaries": ["random", "static"],
+      "n": [12],
+      "k": [6],
+      "faults": [0, 2]
+    },
+    "seeds": 3
+  })");
+  ResultStore serial(scratch_dir("threads1"));
+  ResultStore parallel(scratch_dir("threads4"));
+  run_campaign(spec, serial, 1);
+  run_campaign(spec, parallel, 4);
+
+  const auto groups1 = aggregate(serial.load());
+  const auto groups4 = aggregate(parallel.load());
+  // Bitwise-identical aggregates: the rendered report and every sample
+  // sequence agree exactly.
+  EXPECT_EQ(render_report("threads", groups1),
+            render_report("threads", groups4));
+  ASSERT_EQ(groups1.size(), groups4.size());
+  for (std::size_t g = 0; g < groups1.size(); ++g) {
+    EXPECT_EQ(groups1[g].rounds.samples(), groups4[g].rounds.samples());
+    EXPECT_EQ(groups1[g].moves.samples(), groups4[g].moves.samples());
+    EXPECT_EQ(groups1[g].dispersed, groups4[g].dispersed);
+  }
+}
+
+TEST(Campaign, ResumeSkipsCompletedRecords) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  const std::string dir = scratch_dir("resume");
+  {
+    ResultStore store(dir);
+    run_campaign(spec, store, 1);
+  }
+  // Simulate a kill after two finished trials: truncate the JSONL.
+  {
+    std::ifstream in(dir + "/results.jsonl");
+    std::string line, kept;
+    for (int i = 0; i < 2 && std::getline(in, line); ++i) kept += line + "\n";
+    in.close();
+    std::ofstream out(dir + "/results.jsonl", std::ios::trunc);
+    out << kept;
+  }
+  ResultStore store(dir);
+  ASSERT_EQ(store.load().size(), 2u);
+  const CampaignOutcome outcome = run_campaign(spec, store, 1);
+  EXPECT_EQ(outcome.executed, 2u);  // only the missing trials re-ran
+  EXPECT_EQ(outcome.skipped, 2u);
+  EXPECT_EQ(outcome.completed, 4u);
+  EXPECT_EQ(store.load().size(), 4u);  // no duplicates
+  // The manifest's run history shows both invocations.
+  const std::vector<RunCounters> runs = store.run_history();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs.back().executed, 2u);
+  EXPECT_EQ(runs.back().skipped, 2u);
+
+  // A fully complete store resumes to a no-op.
+  const CampaignOutcome noop = run_campaign(spec, store, 1);
+  EXPECT_EQ(noop.executed, 0u);
+  EXPECT_EQ(noop.skipped, 4u);
+}
+
+TEST(Campaign, TornFinalLineIsDiscardedAndReRun) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  const std::string dir = scratch_dir("torn");
+  {
+    ResultStore store(dir);
+    run_campaign(spec, store, 1);
+  }
+  {
+    // Keep 3 complete lines, then a torn fourth (killed mid-write).
+    std::ifstream in(dir + "/results.jsonl");
+    std::string line, kept;
+    for (int i = 0; i < 3 && std::getline(in, line); ++i) kept += line + "\n";
+    in.close();
+    std::ofstream out(dir + "/results.jsonl", std::ios::trunc);
+    out << kept << R"({"job": 3, "id": "alg4|random|n=12|k=6)";
+  }
+  ResultStore store(dir);
+  EXPECT_EQ(store.load().size(), 3u);
+  const CampaignOutcome outcome = run_campaign(spec, store, 1);
+  EXPECT_EQ(outcome.executed, 1u);
+  EXPECT_EQ(outcome.skipped, 3u);
+}
+
+TEST(Campaign, TrialFailureIsRecordedNotFatal) {
+  // grouped placement with groups > k throws inside the trial; the job must
+  // produce a failure record while the rest of the campaign completes.
+  const CampaignSpec spec = CampaignSpec::parse_json(R"({
+    "name": "isolation",
+    "axes": {
+      "algorithms": ["alg4"],
+      "adversaries": ["random"],
+      "n": [12],
+      "k": [6]
+    },
+    "placement": "grouped",
+    "groups": 30,
+    "seeds": 2
+  })");
+  ResultStore store(scratch_dir("isolation"));
+  const CampaignOutcome outcome = run_campaign(spec, store, 2);
+  EXPECT_EQ(outcome.executed, 2u);
+  EXPECT_EQ(outcome.failed, 2u);
+  for (const TrialRecord& r : store.load()) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+  }
+  const auto groups = aggregate(store.load());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].failed, 2u);
+  EXPECT_EQ(groups[0].trials, 2u);
+}
+
+TEST(Campaign, RefusesStoreOfDifferentCampaign) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  const std::string dir = scratch_dir("mismatch");
+  {
+    ResultStore store(dir);
+    run_campaign(spec, store, 1);
+  }
+  const CampaignSpec other = CampaignSpec::parse_json(R"({
+    "name": "small",
+    "axes": {
+      "algorithms": ["alg4"],
+      "adversaries": ["random"],
+      "n": [12],
+      "k": [6],
+      "faults": [1]
+    },
+    "seeds": 4
+  })");
+  ResultStore store(dir);
+  EXPECT_THROW(run_campaign(other, store, 1), std::invalid_argument);
+}
+
+TEST(Campaign, ReportCsvRoundTrips) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  const std::string dir = scratch_dir("csv");
+  ResultStore store(dir);
+  run_campaign(spec, store, 1);
+  const auto groups = aggregate(store.load());
+  const std::string csv_path = dir + "/report.csv";
+  write_report_csv(csv_path, groups);
+  std::ifstream in(csv_path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("algorithm"), std::string::npos);
+  std::string row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row)));
+  EXPECT_NE(row.find("alg4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyndisp::campaign

@@ -1,0 +1,210 @@
+// dyndisp_campaign -- declarative scenario sweeps over the whole library.
+//
+// Turns a JSON campaign spec (axes: algorithms x adversaries x n x k x comm
+// x faults x seeds) into a scheduled, persisted, resumable sweep: trials fan
+// out over a thread pool, every result is appended to a JSONL store as it
+// finishes, and an interrupted campaign picks up where it left off.
+//
+//   dyndisp_campaign run campaigns/table1.json --threads 8
+//   dyndisp_campaign run campaigns/table1.json --seeds 2     # smoke mode
+//   dyndisp_campaign resume campaign_out/table1
+//   dyndisp_campaign report campaign_out/table1 --csv table1.csv
+//   dyndisp_campaign list
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/registry.h"
+#include "campaign/scheduler.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "util/cli.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace dyndisp;
+using namespace dyndisp::campaign;
+
+constexpr const char* kUsage = R"(dyndisp_campaign -- scenario sweeps as data
+
+commands:
+  run <spec.json>      expand the spec's axes and run every trial
+      --out DIR        result-store directory (default campaign_out/<name>)
+      --threads N      worker lanes (default: hardware concurrency)
+      --seeds S        override the spec's seeds-per-tuple (smoke mode)
+      --quiet          suppress per-trial progress lines
+  resume <store-dir>   finish an interrupted campaign; completed trials
+                       (records already in results.jsonl) are skipped
+      --threads N, --quiet   as for run
+  report <store-dir>   aggregate the JSONL records into the tuple table
+      --csv FILE       also export the aggregate as CSV
+  list                 enumerate registered algorithms, adversaries,
+                       families, and placements
+  --help               this text
+
+The store directory holds spec.json (the spec copy resume reads),
+results.jsonl (one record per finished trial, appended and flushed as each
+trial completes), and manifest.json (campaign identity plus per-invocation
+executed/skipped/failed/wall-time counters).
+)";
+
+std::size_t default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+int check_unused(const CliArgs& args) {
+  if (const auto unknown = args.unused(); !unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (see --help)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+/// Shared by run and resume once the spec and store are in hand.
+int execute(const CampaignSpec& spec, ResultStore& store, std::size_t threads,
+            bool quiet) {
+  const CampaignOutcome outcome =
+      run_campaign(spec, store, threads, quiet ? nullptr : &std::cout);
+  std::printf(
+      "campaign %s: %zu jobs, %zu executed, %zu skipped, %zu failed "
+      "(%.1f ms, %zu threads)\n",
+      spec.name().c_str(), outcome.total, outcome.executed, outcome.skipped,
+      outcome.failed, outcome.wall_ms, threads);
+  const auto groups = aggregate(store.load());
+  std::fputs(render_report(spec.name(), groups).c_str(), stdout);
+  std::printf("store: %s\n", store.dir().c_str());
+  return outcome.failed == 0 ? 0 : 1;
+}
+
+int cmd_run(const std::string& spec_path, const CliArgs& args) {
+  CampaignSpec spec = CampaignSpec::parse_file(spec_path);
+  if (args.has("seeds"))
+    spec.set_seeds(static_cast<std::size_t>(args.get_uint("seeds", 1)));
+  const std::string out_dir =
+      args.get("out", "campaign_out/" + spec.name());
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_uint("threads", default_threads()));
+  const bool quiet = args.has("quiet");
+  if (const int rc = check_unused(args)) return rc;
+
+  ResultStore store(out_dir);
+  return execute(spec, store, threads, quiet);
+}
+
+int cmd_resume(const std::string& store_dir, const CliArgs& args) {
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_uint("threads", default_threads()));
+  const bool quiet = args.has("quiet");
+  if (const int rc = check_unused(args)) return rc;
+
+  ResultStore store(store_dir);
+  CampaignSpec spec = CampaignSpec::parse_file(store.spec_path());
+  // The manifest remembers any --seeds override the original run applied,
+  // so resume completes the campaign that was actually started.
+  {
+    std::ifstream in(store.manifest_path());
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        const JsonValue manifest = JsonValue::parse(buffer.str());
+        if (const JsonValue* seeds = manifest.find("seeds"))
+          spec.set_seeds(static_cast<std::size_t>(seeds->as_uint()));
+      } catch (const std::invalid_argument&) {
+        // Torn manifest (killed mid-write): fall back to the spec's seeds.
+      }
+    }
+  }
+  return execute(spec, store, threads, quiet);
+}
+
+int cmd_report(const std::string& store_dir, const CliArgs& args) {
+  const std::string csv_path = args.get("csv", "");
+  if (const int rc = check_unused(args)) return rc;
+
+  ResultStore store(store_dir);
+  const std::vector<TrialRecord> records = store.load();
+  if (records.empty()) {
+    std::fprintf(stderr, "no records in %s\n", store.results_path().c_str());
+    return 1;
+  }
+  std::string name = store_dir;
+  try {
+    name = CampaignSpec::parse_file(store.spec_path()).name();
+  } catch (const std::exception&) {
+    // Report works on a bare results.jsonl too.
+  }
+  const auto groups = aggregate(records);
+  std::fputs(render_report(name, groups).c_str(), stdout);
+  std::size_t failed = 0;
+  for (const auto& g : groups) failed += g.failed;
+  const auto runs = store.run_history();
+  std::printf("records: %zu   failed: %zu   scheduler invocations: %zu\n",
+              records.size(), failed, runs.size());
+  if (!csv_path.empty()) {
+    write_report_csv(csv_path, groups);
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_list() {
+  const Registry& registry = Registry::instance();
+  const auto print = [](const char* category,
+                        const std::vector<std::string>& names) {
+    std::printf("%s:\n", category);
+    for (const std::string& name : names)
+      std::printf("  %s\n", name.c_str());
+  };
+  print("algorithms", registry.algorithm_names());
+  print("adversaries", registry.adversary_names());
+  print("families", registry.family_names());
+  print("placements", registry.placement_names());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2 || std::string(argv[1]) == "--help" ||
+        std::string(argv[1]) == "help") {
+      std::fputs(kUsage, stdout);
+      return argc < 2 ? 2 : 0;
+    }
+    const std::string command = argv[1];
+    if (command == "list") {
+      const CliArgs args(argc - 1, argv + 1);
+      if (const int rc = check_unused(args)) return rc;
+      return cmd_list();
+    }
+    if (command == "run" || command == "resume" || command == "report") {
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        std::fprintf(stderr, "%s needs a %s argument (see --help)\n",
+                     command.c_str(),
+                     command == "run" ? "<spec.json>" : "<store-dir>");
+        return 2;
+      }
+      // argv[2] is the positional path; CliArgs treats it as the program
+      // name and parses the flags that follow.
+      const CliArgs args(argc - 2, argv + 2);
+      const std::string path = argv[2];
+      if (command == "run") return cmd_run(path, args);
+      if (command == "resume") return cmd_resume(path, args);
+      return cmd_report(path, args);
+    }
+    std::fprintf(stderr, "unknown command '%s' (see --help)\n",
+                 command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -3,7 +3,9 @@
 // Runs any (algorithm x adversary x placement x fault/activation model)
 // combination from the library over one or many seeds and reports rounds,
 // moves, metered memory, and progress; optionally dumps a full JSON trace
-// or a per-seed CSV.
+// or a per-seed CSV. All names resolve through the shared campaign
+// registry, so a tuple run here is bit-identical to the same tuple inside a
+// dyndisp_campaign sweep.
 //
 // Examples:
 //   dyndisp_sim --n 20 --k 14                          # Alg4, random dynamic
@@ -11,32 +13,23 @@
 //   dyndisp_sim --algorithm dfs --adversary static --family grid --comm local
 //   dyndisp_sim --faults 4 --trials 10 --csv out.csv
 //   dyndisp_sim --adversary ring-worst --trace-json trace.json
+//   dyndisp_sim --list                                 # registered names
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 
-#include "baselines/blind_walk.h"
-#include "baselines/dfs_dispersion.h"
-#include "baselines/greedy_local.h"
-#include "baselines/random_walk.h"
-#include "core/dispersion.h"
-#include "dynamic/churn_adversary.h"
-#include "dynamic/clique_trap_adversary.h"
-#include "dynamic/path_trap_adversary.h"
-#include "dynamic/random_adversary.h"
-#include "dynamic/ring_adversary.h"
-#include "dynamic/star_star_adversary.h"
-#include "dynamic/static_adversary.h"
-#include "dynamic/t_interval_adversary.h"
-#include "graph/builders.h"
-#include "robots/placement.h"
+#include "campaign/registry.h"
+#include "robots/configuration.h"
 #include "sim/byzantine.h"
 #include "sim/engine.h"
 #include "util/cli.h"
 #include "viz/svg.h"
 #include "util/csv.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -75,103 +68,22 @@ flags (all optional):
   --trace-json FILE    dump the first trial's full trace as JSON
   --svg FILE           render the first trial as an animated SVG
   --csv FILE           per-trial results CSV
+  --list               enumerate every name the registry knows and exit
   --help               this text
 )";
 
-Graph make_family(const std::string& family, std::size_t n,
-                  std::uint64_t seed) {
-  if (family == "path") return builders::path(n);
-  if (family == "cycle") return builders::cycle(n);
-  if (family == "star") return builders::star(n);
-  if (family == "complete") return builders::complete(n);
-  if (family == "grid") return builders::grid((n + 3) / 4, 4);
-  if (family == "torus") return builders::torus(3, (n + 2) / 3);
-  if (family == "hypercube") {
-    std::size_t d = 1;
-    while ((std::size_t{1} << (d + 1)) <= n) ++d;
-    return builders::hypercube(d);
-  }
-  if (family == "btree") return builders::binary_tree(n);
-  if (family == "lollipop") return builders::lollipop(n / 2, n - n / 2);
-  if (family == "random") {
-    Rng rng(seed);
-    return builders::random_connected(n, n / 2, rng);
-  }
-  throw std::invalid_argument("unknown --family " + family);
-}
-
-std::unique_ptr<Adversary> make_adversary(const std::string& adv,
-                                          const std::string& family,
-                                          std::size_t n, std::uint64_t seed) {
-  if (adv == "random") return std::make_unique<RandomAdversary>(n, n / 3, seed);
-  if (adv == "tree") return std::make_unique<RandomAdversary>(n, 0, seed);
-  if (adv == "churn") {
-    Rng rng(seed);
-    return std::make_unique<ChurnAdversary>(
-        builders::random_connected(n, n / 2, rng), 2, seed);
-  }
-  if (adv == "star-star")
-    return std::make_unique<StarStarAdversary>(n, true, seed);
-  if (adv == "ring")
-    return std::make_unique<RingAdversary>(n, RingAdversary::Strategy::kRandomEdge,
-                                           seed);
-  if (adv == "ring-worst")
-    return std::make_unique<RingAdversary>(n, RingAdversary::Strategy::kWorstEdge,
-                                           seed);
-  if (adv == "t-interval")
-    return std::make_unique<TIntervalAdversary>(
-        std::make_unique<RandomAdversary>(n, n / 4, seed), 4);
-  if (adv == "static")
-    return std::make_unique<StaticAdversary>(make_family(family, n, seed));
-  if (adv == "static-shuffle")
-    return std::make_unique<StaticAdversary>(make_family(family, n, seed),
-                                             true, seed);
-  if (adv == "path-trap") return std::make_unique<PathTrapAdversary>(n);
-  if (adv == "clique-trap") return std::make_unique<CliqueTrapAdversary>(n);
-  throw std::invalid_argument("unknown --adversary " + adv);
-}
-
-struct AlgoChoice {
-  AlgorithmFactory factory;
-  bool needs_global = false;
-  bool needs_knowledge = false;
-};
-
-AlgoChoice make_algorithm(const std::string& name, std::uint64_t seed) {
-  using core::PlannerConfig;
-  if (name == "alg4")
-    return {core::dispersion_factory_memoized(), true, true};
-  if (name == "alg4-bfs")
-    return {core::dispersion_factory_with_config(
-                {PlannerConfig::Tree::kBfs, 0}),
-            true, true};
-  if (name == "alg4-1path")
-    return {core::dispersion_factory_with_config(
-                {PlannerConfig::Tree::kDfs, 1}),
-            true, true};
-  if (name == "dfs") return {baselines::dfs_dispersion_factory(), false, false};
-  if (name == "greedy") return {baselines::greedy_local_factory(), false, true};
-  if (name == "random-walk")
-    return {baselines::random_walk_factory(seed * 911 + 3), false, false};
-  if (name == "blind-walk")
-    return {baselines::blind_walk_factory(), true, false};
-  throw std::invalid_argument("unknown --algorithm " + name);
-}
-
-Configuration make_placement(const std::string& p, std::size_t n,
-                             std::size_t k, std::size_t groups,
-                             std::uint64_t seed) {
-  if (p == "rooted") return placement::rooted(n, k);
-  if (p == "random") {
-    Rng rng(seed);
-    return placement::uniform_random(n, k, rng);
-  }
-  if (p == "grouped") {
-    Rng rng(seed);
-    return placement::grouped(n, k, groups, rng);
-  }
-  if (p == "figure1") return placement::figure1(n, k);
-  throw std::invalid_argument("unknown --placement " + p);
+void print_registry() {
+  const campaign::Registry& registry = campaign::Registry::instance();
+  const auto print = [](const char* category,
+                        const std::vector<std::string>& names) {
+    std::printf("%s:", category);
+    for (const std::string& name : names) std::printf(" %s", name.c_str());
+    std::printf("\n");
+  };
+  print("algorithms", registry.algorithm_names());
+  print("adversaries", registry.adversary_names());
+  print("families", registry.family_names());
+  print("placements", registry.placement_names());
 }
 
 }  // namespace
@@ -181,6 +93,10 @@ int main(int argc, char** argv) {
     const CliArgs args(argc, argv);
     if (args.has("help")) {
       std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (args.has("list")) {
+      print_registry();
       return 0;
     }
 
@@ -201,7 +117,9 @@ int main(int argc, char** argv) {
     const std::string svg_path = args.get("svg", "");
     const std::string csv_path = args.get("csv", "");
 
-    const AlgoChoice algo = make_algorithm(algorithm, base_seed);
+    const campaign::Registry& registry = campaign::Registry::instance();
+    const campaign::AlgorithmChoice algo =
+        registry.algorithm(algorithm, base_seed);
 
     EngineOptions options;
     options.max_rounds = args.get_uint("max-rounds", 100 * k);
@@ -254,9 +172,9 @@ int main(int argc, char** argv) {
     std::size_t dispersed = 0;
     for (std::size_t t = 0; t < trials; ++t) {
       const std::uint64_t seed = base_seed + t;
-      auto adv = make_adversary(adversary, family, n, seed);
+      auto adv = registry.adversary(adversary, family, n, seed);
       Configuration initial =
-          make_placement(placement_name, n, k, groups, seed);
+          registry.placement(placement_name, n, k, groups, seed);
       FaultSchedule schedule = FaultSchedule::none();
       if (faults > 0) {
         Rng rng(seed * 17 + 5);
