@@ -87,7 +87,10 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
     if (progress != nullptr) {
       std::lock_guard<std::mutex> lock(progress_mu);
       const std::size_t n = reported.fetch_add(1) + 1;
-      (*progress) << "[" << done.size() + n << "/" << jobs.size() << "] "
+      // Count against the current expansion only: `done` may hold records
+      // outside it (the spec hash ignores the seed count, so a store built
+      // with more seeds is a valid resume target).
+      (*progress) << "[" << outcome.skipped + n << "/" << jobs.size() << "] "
                   << job.id()
                   << (record.ok
                           ? (record.dispersed ? "  dispersed in " +

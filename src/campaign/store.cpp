@@ -16,6 +16,7 @@ namespace {
 /// One record as a single JSONL line (no internal newlines).
 std::string record_to_line(const TrialRecord& r) {
   std::ostringstream out;
+  out.precision(17);  // max_digits10: wall_ms round-trips exactly
   out << '{' << "\"job\": " << r.job.index << ", \"id\": \""
       << json_escape(r.job.id()) << "\", \"spec_hash\": \""
       << json_escape(r.spec_hash) << "\", \"algorithm\": \""
@@ -81,6 +82,30 @@ std::string tuple_key(const JobSpec& job) {
   return out.str();
 }
 
+/// Byte length of the newline-terminated prefix of `path`: everything up to
+/// and including the last '\n' (0 if the file has none). Bytes past it are a
+/// torn final line from a killed run. On an I/O failure returns `size`
+/// (i.e. "keep everything") so the caller never truncates valid records.
+std::uintmax_t complete_prefix_size(const std::string& path,
+                                    std::uintmax_t size) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return size;
+  std::streamoff end = static_cast<std::streamoff>(size);
+  char buf[4096];
+  while (end > 0) {
+    const std::streamoff begin =
+        std::max<std::streamoff>(0, end - static_cast<std::streamoff>(sizeof buf));
+    const std::streamoff len = end - begin;
+    in.seekg(begin);
+    in.read(buf, len);
+    if (!in) return size;
+    for (std::streamoff i = len - 1; i >= 0; --i)
+      if (buf[i] == '\n') return static_cast<std::uintmax_t>(begin + i + 1);
+    end = begin;
+  }
+  return 0;
+}
+
 }  // namespace
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
@@ -101,13 +126,24 @@ std::vector<TrialRecord> ResultStore::load() const {
   std::ifstream in(results_path());
   if (!in) return records;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
     try {
       records.push_back(record_from_json(JsonValue::parse(line)));
-    } catch (const std::invalid_argument&) {
-      // A torn final line from a killed run: everything before it is valid,
-      // the interrupted trial simply re-runs on resume.
+    } catch (const std::invalid_argument& e) {
+      // A torn final line from a killed run is expected: everything before
+      // it is valid and the interrupted trial re-runs on resume. A bad line
+      // *followed by more records* is real corruption -- silently dropping
+      // the tail would present a truncated set as complete.
+      std::string rest;
+      while (std::getline(in, rest)) {
+        if (rest.find_first_not_of(" \t\r") != std::string::npos)
+          throw std::runtime_error(
+              results_path() + ":" + std::to_string(lineno) +
+              ": unparsable record followed by more data (" + e.what() + ")");
+      }
       break;
     }
   }
@@ -118,6 +154,15 @@ void ResultStore::append(const TrialRecord& record) {
   const std::string line = record_to_line(record);
   std::lock_guard<std::mutex> lock(mu_);
   if (!out_.is_open()) {
+    // A killed run can leave a torn final line. Appending after it would
+    // fuse the new record onto the fragment, corrupting the line mid-file;
+    // truncate back to the last complete line first.
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(results_path(), ec);
+    if (!ec && size > 0) {
+      const std::uintmax_t keep = complete_prefix_size(results_path(), size);
+      if (keep < size) std::filesystem::resize_file(results_path(), keep);
+    }
     out_.open(results_path(), std::ios::app);
     if (!out_)
       throw std::runtime_error("cannot open " + results_path() +

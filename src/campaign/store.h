@@ -67,10 +67,14 @@ class ResultStore {
   void initialize(const CampaignSpec& spec);
 
   /// Loads all complete records currently on disk (empty if none). A
-  /// truncated trailing line -- the signature of a killed run -- is ignored.
+  /// truncated trailing line -- the signature of a killed run -- is ignored;
+  /// an unparsable line followed by further records is real corruption and
+  /// throws std::runtime_error rather than silently dropping the tail.
   std::vector<TrialRecord> load() const;
 
   /// Appends one record and flushes it; safe to call from worker threads.
+  /// The first append truncates any torn trailing line left by a killed run
+  /// so the new record starts on its own line.
   void append(const TrialRecord& record);
 
   /// Rewrites the manifest: campaign identity, job totals, completion count,

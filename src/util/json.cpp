@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -258,6 +259,7 @@ class JsonParser {
     JsonValue v;
     v.type_ = JsonValue::Type::kNumber;
     v.number_ = parsed;
+    v.string_ = token;  // raw token, so as_uint() can reparse losslessly
     return v;
   }
 
@@ -288,9 +290,26 @@ double JsonValue::as_number() const {
 }
 
 std::uint64_t JsonValue::as_uint() const {
-  const double v = as_number();
+  if (type_ != Type::kNumber) type_error("a number");
+  // Plain integer tokens reparse losslessly from the raw text; routing them
+  // through the double would silently round values above 2^53 (e.g. large
+  // seeds), so the record id would no longer match the job that produced it.
+  if (!string_.empty() &&
+      string_.find_first_not_of("0123456789") == std::string::npos) {
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(string_.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      throw std::invalid_argument("JSON integer overflows uint64");
+    return parsed;
+  }
+  // Fraction/exponent/sign forms: accept only values a double represents
+  // exactly as an integer.
+  const double v = number_;
   if (v < 0 || v != std::floor(v))
     throw std::invalid_argument("JSON number is not a non-negative integer");
+  if (v >= 9007199254740992.0)  // 2^53: doubles no longer cover every integer
+    throw std::invalid_argument(
+        "JSON number too large to represent exactly as an integer");
   return static_cast<std::uint64_t>(v);
 }
 

@@ -45,7 +45,10 @@ class JsonValue {
   /// Typed accessors; throw std::invalid_argument on a type mismatch.
   bool as_bool() const;
   double as_number() const;
-  /// as_number() narrowed to a non-negative integer (rejects fractions).
+  /// The number as a non-negative integer. Plain integer tokens are
+  /// reparsed from their raw text, so the full uint64 range round-trips
+  /// losslessly; fractions, negatives, and values a double cannot represent
+  /// exactly are rejected.
   std::uint64_t as_uint() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& items() const;

@@ -81,6 +81,18 @@ TEST(JsonReader, RejectsMalformed) {
   }
 }
 
+TEST(JsonReader, LargeIntegersRoundTripLosslessly) {
+  // Integer tokens must not route through a double: values above 2^53 would
+  // silently round, so a seed read back from a store could differ from the
+  // one that produced the record.
+  EXPECT_EQ(JsonValue::parse("9007199254740993").as_uint(),
+            9007199254740993ull);  // 2^53 + 1, not representable as double
+  EXPECT_EQ(JsonValue::parse("18446744073709551615").as_uint(),
+            18446744073709551615ull);  // UINT64_MAX
+  EXPECT_THROW(JsonValue::parse("18446744073709551616").as_uint(),
+               std::invalid_argument);  // overflows uint64
+}
+
 TEST(JsonReader, RejectsTypeMismatch) {
   const JsonValue v = JsonValue::parse("[1, -2]");
   EXPECT_THROW(v.as_string(), std::invalid_argument);
@@ -357,6 +369,86 @@ TEST(Campaign, TornFinalLineIsDiscardedAndReRun) {
   const CampaignOutcome outcome = run_campaign(spec, store, 1);
   EXPECT_EQ(outcome.executed, 1u);
   EXPECT_EQ(outcome.skipped, 3u);
+  // The re-run record must not be fused onto the torn fragment: the store
+  // holds exactly the 4 complete records and every one parses back.
+  EXPECT_EQ(store.load().size(), 4u);
+}
+
+TEST(Campaign, MidFileCorruptionFailsLoudly) {
+  const CampaignSpec spec = CampaignSpec::parse_json(kSmallSpec);
+  const std::string dir = scratch_dir("midcorrupt");
+  {
+    ResultStore store(dir);
+    run_campaign(spec, store, 1);
+  }
+  {
+    // Corrupt a record in the *middle* of the file. Unlike a torn final
+    // line this is not a kill signature; silently truncating at it would
+    // under-count trials.
+    std::ifstream in(dir + "/results.jsonl");
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    in.close();
+    ASSERT_EQ(lines.size(), 4u);
+    lines[1] = R"({"job": gar)";
+    std::ofstream out(dir + "/results.jsonl", std::ios::trunc);
+    for (const std::string& l : lines) out << l << "\n";
+  }
+  ResultStore store(dir);
+  EXPECT_THROW(store.load(), std::runtime_error);
+}
+
+TEST(Campaign, RecordsRoundTripExactly) {
+  ResultStore store(scratch_dir("roundtrip"));
+  TrialRecord r;
+  r.job.index = 7;
+  r.job.algorithm = "alg4";
+  r.job.adversary = "random";
+  r.job.family = "random";
+  r.job.placement = "rooted";
+  r.job.comm = "default";
+  r.job.n = 12;
+  r.job.k = 6;
+  r.job.seed = 3;
+  r.spec_hash = "abc";
+  r.rounds = 41;
+  r.wall_ms = 123.0 / 7.0;  // needs more than 6 significant digits
+  store.append(r);
+  const std::vector<TrialRecord> loaded = store.load();
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].wall_ms, r.wall_ms);  // bitwise, not approximate
+  EXPECT_EQ(loaded[0].job.id(), r.job.id());
+}
+
+TEST(Campaign, ProgressCountsOnlyCurrentExpansion) {
+  // A store built with more seeds is a valid resume target for the same spec
+  // at fewer seeds (the hash ignores the seed count); the progress counter
+  // must count against the current expansion, never exceeding [total/total].
+  CampaignSpec six = CampaignSpec::parse_json(kSmallSpec);
+  six.set_seeds(6);
+  const std::string dir = scratch_dir("progress");
+  {
+    ResultStore store(dir);
+    run_campaign(six, store, 1);
+  }
+  {
+    // Drop the seed-2 record: 5 remain, two outside a 4-seed expansion.
+    std::ifstream in(dir + "/results.jsonl");
+    std::string line, kept;
+    while (std::getline(in, line))
+      if (line.find("seed=2") == std::string::npos) kept += line + "\n";
+    in.close();
+    std::ofstream out(dir + "/results.jsonl", std::ios::trunc);
+    out << kept;
+  }
+  const CampaignSpec four = CampaignSpec::parse_json(kSmallSpec);  // seeds: 4
+  ResultStore store(dir);
+  std::ostringstream progress;
+  const CampaignOutcome outcome = run_campaign(four, store, 1, &progress);
+  EXPECT_EQ(outcome.executed, 1u);
+  EXPECT_EQ(outcome.skipped, 3u);
+  EXPECT_NE(progress.str().find("[4/4]"), std::string::npos) << progress.str();
 }
 
 TEST(Campaign, TrialFailureIsRecordedNotFatal) {
