@@ -24,7 +24,8 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
-                             std::size_t threads, std::ostream* progress) {
+                             std::size_t threads, std::ostream* progress,
+                             bool record_timing) {
   const auto campaign_start = std::chrono::steady_clock::now();
   const std::string spec_hash = spec.hash();
   const std::vector<JobSpec> jobs = spec.expand();
@@ -80,7 +81,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
       record.error = e.what();
       failed.fetch_add(1, std::memory_order_relaxed);
     }
-    record.wall_ms = ms_since(start);
+    record.wall_ms = record_timing ? ms_since(start) : 0.0;
     store.append(record);
     // Progress is monotonic: the counter only grows, and each line is
     // emitted under the lock with the value it claimed.

@@ -30,8 +30,15 @@ struct CampaignOutcome {
 /// Throws std::invalid_argument if the store holds records of a different
 /// campaign (spec-hash mismatch). Writes the spec copy and the manifest;
 /// when `progress` is non-null, one line per completed job is streamed to it.
+///
+/// `record_timing = false` zeroes the per-record wall_ms field -- the one
+/// nondeterministic value in results.jsonl -- so two invocations of the
+/// same spec+seed produce byte-identical record lines (line ORDER still
+/// depends on the thread count; compare sorted, or run with threads = 1).
+/// The manifest's per-invocation counters keep real wall times either way.
 CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
                              std::size_t threads,
-                             std::ostream* progress = nullptr);
+                             std::ostream* progress = nullptr,
+                             bool record_timing = true);
 
 }  // namespace dyndisp::campaign

@@ -1,0 +1,84 @@
+#include "check/repro.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dyndisp::check {
+
+std::string artifact_json(const ReproArtifact& artifact) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("dyndisp_check_repro", std::uint64_t{1});
+  w.member("cli", "dyndisp_check replay <this-file>");
+  if (!artifact.note.empty()) w.member("note", artifact.note);
+  w.key("violation");
+  w.begin_object();
+  w.member("oracle", artifact.expected.oracle);
+  w.member("round", static_cast<std::uint64_t>(artifact.expected.round));
+  w.member("message", artifact.expected.message);
+  w.end_object();
+  w.key("config");
+  artifact.config.write_json(w);
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+ReproArtifact parse_artifact(const std::string& text) {
+  const JsonValue doc = JsonValue::parse(text);
+  if (!doc.is_object())
+    throw std::invalid_argument("repro artifact must be a JSON object");
+  const JsonValue* version = doc.find("dyndisp_check_repro");
+  if (version == nullptr || version->as_uint() != 1)
+    throw std::invalid_argument(
+        "not a dyndisp_check repro artifact (missing/unknown "
+        "\"dyndisp_check_repro\" version)");
+  const JsonValue* config = doc.find("config");
+  if (config == nullptr)
+    throw std::invalid_argument("repro artifact has no \"config\"");
+  ReproArtifact artifact;
+  artifact.config = TrialConfig::from_json(*config);
+  if (const JsonValue* note = doc.find("note"))
+    artifact.note = note->as_string();
+  const JsonValue* violation = doc.find("violation");
+  if (violation == nullptr)
+    throw std::invalid_argument("repro artifact has no \"violation\"");
+  const JsonValue* oracle = violation->find("oracle");
+  if (oracle == nullptr)
+    throw std::invalid_argument("repro artifact violation has no \"oracle\"");
+  artifact.expected.oracle = oracle->as_string();
+  if (const JsonValue* round = violation->find("round"))
+    artifact.expected.round = round->as_uint();
+  if (const JsonValue* message = violation->find("message"))
+    artifact.expected.message = message->as_string();
+  return artifact;
+}
+
+void write_artifact(const ReproArtifact& artifact, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write repro artifact " + path);
+  out << artifact_json(artifact);
+  if (!out.flush())
+    throw std::runtime_error("failed writing repro artifact " + path);
+}
+
+ReproArtifact load_artifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read repro artifact " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_artifact(buffer.str());
+}
+
+ReplayOutcome replay(const ReproArtifact& artifact, const Toolbox& toolbox) {
+  const CheckedOutcome out = run_checked(artifact.config, toolbox);
+  ReplayOutcome outcome;
+  outcome.violation = out.violation;
+  outcome.reproduced =
+      out.violation && out.violation->oracle == artifact.expected.oracle;
+  return outcome;
+}
+
+}  // namespace dyndisp::check

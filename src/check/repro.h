@@ -1,0 +1,40 @@
+// Repro artifacts: a failing (usually shrunk) trial as one self-contained
+// JSON file -- the full config including the scripted graph sequence, the
+// violation it is expected to reproduce, and the exact CLI line that
+// replays it. An artifact checked into tests/repros/ is a permanent
+// regression test (docs/TESTING.md shows the recipe).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/trial.h"
+
+namespace dyndisp::check {
+
+struct ReproArtifact {
+  TrialConfig config;
+  Violation expected;  ///< The violation this artifact reproduces.
+  std::string note;    ///< Provenance (e.g. the pre-shrink config summary).
+};
+
+/// Serializes / parses the artifact document. parse throws
+/// std::invalid_argument on anything malformed (artifacts are untrusted:
+/// they travel through bug reports).
+std::string artifact_json(const ReproArtifact& artifact);
+ReproArtifact parse_artifact(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on IO failure.
+void write_artifact(const ReproArtifact& artifact, const std::string& path);
+ReproArtifact load_artifact(const std::string& path);
+
+struct ReplayOutcome {
+  /// True iff the run violated the SAME oracle the artifact expects.
+  bool reproduced = false;
+  std::optional<Violation> violation;  ///< What the replay actually hit.
+};
+
+/// Re-runs the artifact's config with the full oracle set.
+ReplayOutcome replay(const ReproArtifact& artifact, const Toolbox& toolbox);
+
+}  // namespace dyndisp::check

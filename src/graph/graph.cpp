@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace dyndisp {
 
@@ -19,6 +21,43 @@ Graph Graph::from_edges(std::size_t n,
   }
   for (NodeId v = 0; v < n; ++v) g.adj_[v].reserve(degree[v]);
   for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+Graph Graph::from_port_edges(std::size_t n, const std::vector<Edge>& edges) {
+  Graph g(n);
+  // First pass: degrees are the highest port named at each endpoint.
+  std::vector<std::size_t> degree(n, 0);
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n)
+      throw std::invalid_argument("from_port_edges: endpoint out of range");
+    if (e.u == e.v)
+      throw std::invalid_argument("from_port_edges: self-loop");
+    if (e.port_u == kInvalidPort || e.port_v == kInvalidPort)
+      throw std::invalid_argument("from_port_edges: invalid port");
+    degree[e.u] = std::max(degree[e.u], static_cast<std::size_t>(e.port_u));
+    degree[e.v] = std::max(degree[e.v], static_cast<std::size_t>(e.port_v));
+  }
+  for (NodeId v = 0; v < n; ++v)
+    g.adj_[v].assign(degree[v], HalfEdge{});
+  for (const Edge& e : edges) {
+    HalfEdge& at_u = g.adj_[e.u][e.port_u - 1];
+    HalfEdge& at_v = g.adj_[e.v][e.port_v - 1];
+    if (at_u.to != kInvalidNode || at_v.to != kInvalidNode)
+      throw std::invalid_argument("from_port_edges: duplicate port");
+    at_u = HalfEdge{e.v, e.port_v};
+    at_v = HalfEdge{e.u, e.port_u};
+    ++g.edge_count_;
+  }
+  // Every port in [1, degree] must have been named (contiguity), and the
+  // usual simple-graph invariants must hold; validate() checks both.
+  for (NodeId v = 0; v < n; ++v)
+    for (const HalfEdge& he : g.adj_[v])
+      if (he.to == kInvalidNode)
+        throw std::invalid_argument("from_port_edges: port gap at node " +
+                                    std::to_string(v));
+  if (std::string err = g.validate(); !err.empty())
+    throw std::invalid_argument("from_port_edges: " + err);
   return g;
 }
 

@@ -42,6 +42,16 @@ class Graph {
   static Graph from_edges(std::size_t n,
                           const std::vector<std::pair<NodeId, NodeId>>& edges);
 
+  struct Edge;  // defined below
+
+  /// Builds a graph from an edge list with EXPLICIT port labels at both
+  /// endpoints -- the exact inverse of edges(), so a graph whose ports were
+  /// shuffled round-trips bit-identically (scripted-adversary replay relies
+  /// on this). Throws std::invalid_argument when the list is not a valid
+  /// port-labeled simple graph (duplicate/missing ports, self-loops,
+  /// out-of-range endpoints).
+  static Graph from_port_edges(std::size_t n, const std::vector<Edge>& edges);
+
   std::size_t node_count() const { return adj_.size(); }
   std::size_t edge_count() const { return edge_count_; }
 

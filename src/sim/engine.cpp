@@ -222,9 +222,10 @@ RunResult Engine::run() {
       if (std::string err = validate_round_graph(g, conf_.node_count());
           !err.empty()) {
         round_ctx_ = nullptr;
-        throw std::runtime_error("adversary " + adversary_.name() +
-                                 " emitted invalid graph in round " +
-                                 std::to_string(r) + ": " + err);
+        throw InvariantViolation(r, "round-graph",
+                                 "adversary " + adversary_.name() +
+                                     " emitted invalid graph in round " +
+                                     std::to_string(r) + ": " + err);
       }
     }
     if (options_.comm == CommModel::kGlobal) {
@@ -286,6 +287,13 @@ RunResult Engine::run() {
     res.max_occupied = std::max(res.max_occupied, conf_.occupied_count());
     if (options_.record_progress)
       res.occupied_per_round.push_back(conf_.occupied_count());
+    if (options_.invariant_checker) {
+      // Oracles see the round exactly as executed: the emitted graph, both
+      // configurations, the chosen plan, and the metered memory peak.
+      options_.invariant_checker(RoundSnapshot{
+          r, g, before, conf_, plan, newly, crashed_this_round,
+          meter_.max_bits()});
+    }
     if (options_.record_trace) {
       RoundRecord rec;
       rec.round = r;

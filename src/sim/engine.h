@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,45 @@ enum class Activation {
   kRoundRobin,
 };
 
+/// Everything an in-engine invariant oracle may inspect about one executed
+/// round, assembled after the Move phase and before the round's artifacts
+/// are recycled. All references are valid only during the checker call.
+struct RoundSnapshot {
+  Round round = 0;
+  const Graph& graph;           ///< G_r as emitted by the adversary.
+  const Configuration& before;  ///< Configuration at the start of the round.
+  const Configuration& after;   ///< Configuration after the Move phase.
+  const MovePlan& plan;         ///< Exit ports chosen (id-1 indexed).
+  /// Nodes occupied this round that had never been occupied before.
+  std::size_t newly_occupied = 0;
+  bool crashed_this_round = false;
+  /// Peak metered persistent memory over the run so far, in bits.
+  std::size_t max_memory_bits = 0;
+};
+
+/// Raised by the engine when a per-round invariant fails: either its own
+/// round-graph validation (oracle "round-graph") or a user-installed
+/// invariant_checker. Derives std::runtime_error so existing catch sites
+/// keep working; carries the round and the oracle name so a fuzzer can
+/// shrink toward the exact violation it first observed.
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(Round round, std::string oracle, const std::string& what)
+      : std::runtime_error(what), round_(round), oracle_(std::move(oracle)) {}
+
+  Round round() const { return round_; }
+  const std::string& oracle() const { return oracle_; }
+
+ private:
+  Round round_;
+  std::string oracle_;
+};
+
+/// Per-round invariant hook: inspect the snapshot and throw
+/// InvariantViolation to abort the run at the offending round. Returning
+/// normally means the round passed.
+using InvariantChecker = std::function<void(const RoundSnapshot&)>;
+
 struct EngineOptions {
   CommModel comm = CommModel::kGlobal;
   bool neighborhood_knowledge = true;
@@ -77,6 +118,10 @@ struct EngineOptions {
   /// Byzantine liars (future-work exploration): tampers the packet layer
   /// and/or overrides the liars' moves. Null = all robots honest.
   std::shared_ptr<const ByzantineModel> byzantine;
+  /// Per-round invariant oracle (src/check wires the lemma oracles through
+  /// this). Called after every executed round's Move phase; throws
+  /// InvariantViolation to stop the run at the offending round. Null = off.
+  InvariantChecker invariant_checker;
   /// Compute-phase fan-out: packet assembly, view assembly, and step() calls
   /// are spread over this many threads (1 = fully serial, no pool). Results
   /// are bitwise identical at any value: robots only read the round's shared

@@ -170,6 +170,56 @@ TEST(ScriptedAdversary, PlaysScriptThenRepeatsLast) {
   EXPECT_EQ(adv.next_graph(5, conf).edge_count(), 4u);
 }
 
+TEST(ScriptedAdversary, RepeatsExactlyTheLastGraphForever) {
+  // Pins the documented horizon contract: round r < script_length() plays
+  // script[r]; every later round repeats the LAST graph bit-identically.
+  // The shrinker's script truncation depends on this being a guarantee.
+  const Graph a = builders::path(5);
+  const Graph b = builders::cycle(5);
+  ScriptedAdversary adv(std::vector<Graph>{a, b});
+  const Configuration conf = some_config(5, 3, 1);
+  EXPECT_EQ(adv.script_length(), 2u);
+  EXPECT_EQ(adv.next_graph(0, conf), a);
+  EXPECT_EQ(adv.next_graph(1, conf), b);
+  EXPECT_EQ(adv.next_graph(2, conf), b);
+  EXPECT_EQ(adv.next_graph(1000, conf), b);
+  // A one-graph prefix is itself a complete (static) execution.
+  ScriptedAdversary prefix(std::vector<Graph>{a});
+  EXPECT_EQ(prefix.next_graph(0, conf), a);
+  EXPECT_EQ(prefix.next_graph(7, conf), a);
+}
+
+TEST(ScriptedAdversary, RejectsEmptyAndMixedSizeScripts) {
+  EXPECT_THROW(ScriptedAdversary(std::vector<Graph>{}), std::invalid_argument);
+  EXPECT_THROW(
+      ScriptedAdversary(std::vector<Graph>{builders::path(4),
+                                           builders::path(5)}),
+      std::invalid_argument);
+}
+
+TEST(ScriptedAdversary, SerializeParseRoundTripsShuffledPorts) {
+  // Repro artifacts embed scripts as text; a shuffled port labeling must
+  // survive the round-trip exactly (ports are the robots' entire interface
+  // to the graph, so "same topology" is not enough).
+  StaticAdversary shuffler(builders::complete(6), true, 17);
+  const Configuration conf = some_config(6, 3, 1);
+  const std::vector<Graph> script{shuffler.next_graph(0, conf),
+                                  shuffler.next_graph(1, conf),
+                                  builders::path(6)};
+  const std::string text = ScriptedAdversary::serialize_script(script);
+  const std::vector<Graph> parsed = ScriptedAdversary::parse_script(text);
+  ASSERT_EQ(parsed.size(), script.size());
+  for (std::size_t i = 0; i < script.size(); ++i)
+    EXPECT_EQ(parsed[i], script[i]) << "graph " << i;
+}
+
+TEST(ScriptedAdversary, ParseRejectsMalformedText) {
+  EXPECT_THROW(ScriptedAdversary::parse_script("garbage"),
+               std::invalid_argument);
+  EXPECT_THROW(ScriptedAdversary::parse_script("g 4 2\n0 1 1 1\n"),
+               std::invalid_argument);  // truncated edge list
+}
+
 TEST(ChurnAdversary, PreservesEdgeCountApproximately) {
   Rng rng(3);
   const Graph initial = builders::random_connected(15, 10, rng);

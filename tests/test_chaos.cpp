@@ -12,16 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/verify.h"
+#include "campaign/registry.h"
 #include "core/dispersion.h"
-#include "dynamic/churn_adversary.h"
-#include "dynamic/random_adversary.h"
-#include "dynamic/ring_adversary.h"
-#include "dynamic/star_star_adversary.h"
-#include "dynamic/static_adversary.h"
-#include "dynamic/t_interval_adversary.h"
-#include "graph/builders.h"
 #include "robots/placement.h"
 #include "sim/engine.h"
 #include "util/bits.h"
@@ -30,38 +26,28 @@
 namespace dyndisp {
 namespace {
 
+/// The sweep draws adversaries from the campaign registry instead of a
+/// hand-enumerated switch, so a newly registered adversary is chaos-tested
+/// automatically. The impossibility traps are excluded: they exist to
+/// PREVENT dispersion, which this suite asserts (their graph validity is
+/// covered by test_conformance.cpp).
 std::unique_ptr<Adversary> random_adversary(std::size_t n, Rng& rng) {
-  switch (rng.below(7)) {
-    case 0:
-      return std::make_unique<RandomAdversary>(n, rng.below(n), rng.next_u64());
-    case 1:
-      return std::make_unique<StarStarAdversary>(n, rng.chance(0.5),
-                                                 rng.next_u64());
-    case 2: {
-      Rng g(rng.next_u64());
-      return std::make_unique<ChurnAdversary>(
-          builders::random_connected(n, n / 2, g), 1 + rng.below(3),
-          rng.next_u64());
+  static const std::vector<std::string> pool = [] {
+    std::vector<std::string> names;
+    for (const std::string& name :
+         campaign::Registry::instance().adversary_names()) {
+      if (name != "path-trap" && name != "clique-trap") names.push_back(name);
     }
-    case 3:
-      return std::make_unique<RingAdversary>(
-          n,
-          rng.chance(0.5) ? RingAdversary::Strategy::kRandomEdge
-                          : RingAdversary::Strategy::kWorstEdge,
-          rng.next_u64());
-    case 4: {
-      Rng g(rng.next_u64());
-      return std::make_unique<StaticAdversary>(
-          builders::random_connected(n, rng.below(2 * n), g), true,
-          rng.next_u64());
-    }
-    case 5:
-      return std::make_unique<TIntervalAdversary>(
-          std::make_unique<RandomAdversary>(n, n / 3, rng.next_u64()),
-          1 + rng.below(5));
-    default:
-      return std::make_unique<RandomAdversary>(n, 0, rng.next_u64());
-  }
+    return names;
+  }();
+  // Consulted by the static adversaries only; torus is omitted because it
+  // needs n >= 7 and the sweep goes down to n = 4.
+  static const char* const kFamilies[] = {"path",   "cycle", "complete",
+                                          "grid",   "btree", "random"};
+  const std::string& name = pool[rng.below(pool.size())];
+  const char* family = kFamilies[rng.below(6)];
+  return campaign::Registry::instance().adversary(name, family, n,
+                                                  rng.next_u64());
 }
 
 Configuration random_placement(std::size_t n, std::size_t k, Rng& rng) {
@@ -89,10 +75,13 @@ class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSweep, InvariantsSurviveArbitraryCombinations) {
   Rng rng(GetParam() * 7919 + 13);
-  const std::size_t n = 4 + rng.below(28);
-  const std::size_t k = 2 + rng.below(n - 1);
+  const std::size_t requested_n = 4 + rng.below(28);
 
-  auto adversary = random_adversary(n, rng);
+  auto adversary = random_adversary(requested_n, rng);
+  // Families may round the requested size (grid, hypercube, torus); k and
+  // the placement must fit the graphs the adversary actually emits.
+  const std::size_t n = adversary->node_count();
+  const std::size_t k = 2 + rng.below(n - 1);
   Configuration initial = random_placement(n, k, rng);
 
   const bool with_faults = rng.chance(0.4);
@@ -108,7 +97,10 @@ TEST_P(ChaosSweep, InvariantsSurviveArbitraryCombinations) {
   EngineOptions opt;
   opt.record_progress = true;
   opt.record_trace = true;
-  opt.max_rounds = 200 * k + 200;  // generous for low activation probability
+  // Semi-synchronous runs have no theorem-backed round bound; the worst
+  // registry combination observed (per-round port shuffle, DFS tree,
+  // max_paths=1, activation ~0.5) needs ~500k rounds, so give them room.
+  opt.max_rounds = semi_sync ? 1000 * k + 200 : 200 * k + 200;
   if (semi_sync) {
     opt.activation = Activation::kRandomSubset;
     opt.activation_probability = 0.4 + rng.uniform01() * 0.6;

@@ -1,0 +1,175 @@
+// Negative-path coverage for analysis/verify.cpp: every check_* must
+// actually convict when handed a violating run, and its diagnostic must
+// name the offending round and quantities (the fuzzer's shrink reports and
+// CI logs are only as good as these messages). The fixtures are
+// hand-crafted RunResults -- no engine involved -- so each test isolates
+// exactly one checker branch.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/verify.h"
+#include "robots/configuration.h"
+#include "sim/engine.h"
+#include "util/bits.h"
+
+namespace dyndisp {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// A run every checker accepts: k=5 rooted robots dispersing in 5 rounds
+/// with one new node per round and minimal memory.
+RunResult clean_run() {
+  RunResult r;
+  r.dispersed = true;
+  r.k = 5;
+  r.initial_occupied = 1;
+  r.rounds = 5;
+  r.crashed = 0;
+  r.max_memory_bits = bit_width_for(5 + 1);
+  r.occupied_per_round = {1, 2, 3, 4, 5, 5};
+  r.final_config = Configuration(6, {0, 1, 2, 3, 4});
+  return r;
+}
+
+TEST(VerifyNegative, CleanRunPassesEveryChecker) {
+  const RunResult r = clean_run();
+  EXPECT_EQ(analysis::check_progress_every_round(r), "");
+  EXPECT_EQ(analysis::check_occupied_monotone(r), "");
+  EXPECT_EQ(analysis::check_round_bound(r), "");
+  EXPECT_EQ(analysis::check_memory_bound(r), "");
+  EXPECT_EQ(analysis::check_faulty_round_bound(r), "");
+}
+
+// ---- check_progress_every_round (Lemma 7) ----
+
+TEST(VerifyNegative, ProgressNamesTheStalledRound) {
+  RunResult r = clean_run();
+  r.occupied_per_round = {1, 2, 2, 3, 4, 5};  // stalls between rounds 1 and 2
+  const std::string diag = analysis::check_progress_every_round(r);
+  ASSERT_FALSE(diag.empty());
+  EXPECT_TRUE(contains(diag, "no progress in round 1")) << diag;
+  EXPECT_TRUE(contains(diag, "2 -> 2")) << diag;
+  EXPECT_TRUE(contains(diag, "k=5")) << diag;
+}
+
+TEST(VerifyNegative, ProgressReportsTheFirstStalledRound) {
+  RunResult r = clean_run();
+  r.occupied_per_round = {1, 1, 2, 2, 3, 5};  // stalls at rounds 0 and 3
+  EXPECT_TRUE(contains(analysis::check_progress_every_round(r),
+                       "no progress in round 0"));
+}
+
+TEST(VerifyNegative, ProgressRequiresRecording) {
+  RunResult r = clean_run();
+  r.occupied_per_round.clear();
+  EXPECT_TRUE(
+      contains(analysis::check_progress_every_round(r), "record_progress"));
+}
+
+TEST(VerifyNegative, ProgressAllowsStallOnceEveryRobotIsSettled) {
+  RunResult r = clean_run();
+  // After occupied == k the count may plateau: not a violation.
+  r.occupied_per_round = {1, 2, 3, 4, 5, 5, 5};
+  EXPECT_EQ(analysis::check_progress_every_round(r), "");
+}
+
+// ---- check_occupied_monotone (Lemma 6 corollary) ----
+
+TEST(VerifyNegative, MonotoneNamesRoundAndCounts) {
+  RunResult r = clean_run();
+  r.occupied_per_round = {1, 2, 4, 3, 4, 5};  // drops between rounds 2 and 3
+  const std::string diag = analysis::check_occupied_monotone(r);
+  ASSERT_FALSE(diag.empty());
+  EXPECT_TRUE(contains(diag, "occupied count dropped in round 2")) << diag;
+  EXPECT_TRUE(contains(diag, "4 -> 3")) << diag;
+}
+
+TEST(VerifyNegative, MonotoneRequiresRecording) {
+  RunResult r = clean_run();
+  r.occupied_per_round.clear();
+  EXPECT_TRUE(
+      contains(analysis::check_occupied_monotone(r), "record_progress"));
+}
+
+// ---- check_round_bound (Theorem 4) ----
+
+TEST(VerifyNegative, RoundBoundNamesRoundsAndBound) {
+  RunResult r = clean_run();
+  r.rounds = 9;  // bound is k - initial_occupied + 1 = 5
+  const std::string diag = analysis::check_round_bound(r);
+  ASSERT_FALSE(diag.empty());
+  EXPECT_TRUE(contains(diag, "dispersion took 9 rounds")) << diag;
+  EXPECT_TRUE(contains(diag, "bound is 5")) << diag;
+  EXPECT_TRUE(contains(diag, "k=5")) << diag;
+  EXPECT_TRUE(contains(diag, "initially occupied 1")) << diag;
+}
+
+TEST(VerifyNegative, RoundBoundAccountsForInitialOccupancy) {
+  RunResult r = clean_run();
+  r.initial_occupied = 3;  // bound tightens to 5 - 3 + 1 = 3
+  r.rounds = 4;
+  EXPECT_TRUE(contains(analysis::check_round_bound(r), "bound is 3"));
+  r.rounds = 3;
+  EXPECT_EQ(analysis::check_round_bound(r), "");
+}
+
+TEST(VerifyNegative, RoundBoundRequiresDispersal) {
+  RunResult r = clean_run();
+  r.dispersed = false;
+  EXPECT_TRUE(contains(analysis::check_round_bound(r), "did not disperse"));
+}
+
+// ---- check_memory_bound (Lemma 8) ----
+
+TEST(VerifyNegative, MemoryBoundNamesPeakAndBound) {
+  RunResult r = clean_run();
+  r.max_memory_bits = 10;  // bound is ceil(log2(5+1)) = 3
+  const std::string diag = analysis::check_memory_bound(r);
+  ASSERT_FALSE(diag.empty());
+  EXPECT_TRUE(contains(diag, "memory peaked at 10 bits")) << diag;
+  EXPECT_TRUE(contains(diag, "bound is 3")) << diag;
+  EXPECT_TRUE(contains(diag, "k=5")) << diag;
+}
+
+TEST(VerifyNegative, MemoryBoundHonorsSlack) {
+  RunResult r = clean_run();
+  r.max_memory_bits = 10;
+  EXPECT_FALSE(analysis::check_memory_bound(r, 6).empty());  // bound 9
+  EXPECT_EQ(analysis::check_memory_bound(r, 7), "");         // bound 10
+}
+
+// ---- check_faulty_round_bound (Theorem 5) ----
+
+TEST(VerifyNegative, FaultyRoundBoundNamesRoundsBoundAndF) {
+  RunResult r = clean_run();
+  r.crashed = 2;
+  r.rounds = 6;  // bound is k - f + slack = 5 - 2 + 1 = 4
+  const std::string diag = analysis::check_faulty_round_bound(r);
+  ASSERT_FALSE(diag.empty());
+  EXPECT_TRUE(contains(diag, "faulty dispersion took 6 rounds")) << diag;
+  EXPECT_TRUE(contains(diag, "bound is 4")) << diag;
+  EXPECT_TRUE(contains(diag, "k=5")) << diag;
+  EXPECT_TRUE(contains(diag, "f=2")) << diag;
+}
+
+TEST(VerifyNegative, FaultyRoundBoundRequiresDispersal) {
+  RunResult r = clean_run();
+  r.dispersed = false;
+  EXPECT_TRUE(
+      contains(analysis::check_faulty_round_bound(r), "did not disperse"));
+}
+
+TEST(VerifyNegative, FaultyRoundBoundDetectsMultiplicity) {
+  RunResult r = clean_run();
+  // Robots 1 and 2 share node 0: dispersed flag lies about the config.
+  r.final_config = Configuration(6, {0, 0, 2, 3, 4});
+  EXPECT_TRUE(
+      contains(analysis::check_faulty_round_bound(r), "multiplicity"));
+}
+
+}  // namespace
+}  // namespace dyndisp

@@ -38,9 +38,12 @@ commands:
       --threads N      worker lanes (default: hardware concurrency)
       --seeds S        override the spec's seeds-per-tuple (smoke mode)
       --quiet          suppress per-trial progress lines
+      --no-timing      zero the per-record wall_ms field so the same
+                       spec+seed yields byte-identical results.jsonl
+                       (determinism regression; see scripts/check_determinism.sh)
   resume <store-dir>   finish an interrupted campaign; completed trials
                        (records already in results.jsonl) are skipped
-      --threads N, --quiet   as for run
+      --threads N, --quiet, --no-timing   as for run
   report <store-dir>   aggregate the JSONL records into the tuple table
       --csv FILE       also export the aggregate as CSV
   list                 enumerate registered algorithms, adversaries,
@@ -69,9 +72,9 @@ int check_unused(const CliArgs& args) {
 
 /// Shared by run and resume once the spec and store are in hand.
 int execute(const CampaignSpec& spec, ResultStore& store, std::size_t threads,
-            bool quiet) {
-  const CampaignOutcome outcome =
-      run_campaign(spec, store, threads, quiet ? nullptr : &std::cout);
+            bool quiet, bool record_timing) {
+  const CampaignOutcome outcome = run_campaign(
+      spec, store, threads, quiet ? nullptr : &std::cout, record_timing);
   std::printf(
       "campaign %s: %zu jobs, %zu executed, %zu skipped, %zu failed "
       "(%.1f ms, %zu threads)\n",
@@ -92,16 +95,18 @@ int cmd_run(const std::string& spec_path, const CliArgs& args) {
   const std::size_t threads =
       static_cast<std::size_t>(args.get_uint("threads", default_threads()));
   const bool quiet = args.has("quiet");
+  const bool record_timing = !args.has("no-timing");
   if (const int rc = check_unused(args)) return rc;
 
   ResultStore store(out_dir);
-  return execute(spec, store, threads, quiet);
+  return execute(spec, store, threads, quiet, record_timing);
 }
 
 int cmd_resume(const std::string& store_dir, const CliArgs& args) {
   const std::size_t threads =
       static_cast<std::size_t>(args.get_uint("threads", default_threads()));
   const bool quiet = args.has("quiet");
+  const bool record_timing = !args.has("no-timing");
   if (const int rc = check_unused(args)) return rc;
 
   ResultStore store(store_dir);
@@ -122,7 +127,7 @@ int cmd_resume(const std::string& store_dir, const CliArgs& args) {
       }
     }
   }
-  return execute(spec, store, threads, quiet);
+  return execute(spec, store, threads, quiet, record_timing);
 }
 
 int cmd_report(const std::string& store_dir, const CliArgs& args) {
