@@ -1,0 +1,39 @@
+#!/bin/sh
+# Static-analysis gate, fail-fast:
+#   1. dyndisp_lint --all over src tests tools (the project-specific
+#      determinism/metering/hygiene rules + its planted self-check);
+#   2. clang-tidy over the whole tree via the `tidy` CMake preset, when
+#      clang-tidy is installed (skipped with a notice otherwise -- CI's
+#      lint job always has it).
+#
+# usage: scripts/lint.sh [build-dir]
+#   build-dir  an existing configured build containing tools/dyndisp_lint
+#              (default: build; configured+built here if missing)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cd "$repo_root"
+
+if [ ! -x "$build_dir/tools/dyndisp_lint" ]; then
+    echo "lint.sh: building dyndisp_lint in $build_dir" >&2
+    cmake -B "$build_dir" -S "$repo_root" >/dev/null
+    cmake --build "$build_dir" --target dyndisp_lint >/dev/null
+fi
+
+echo "== dyndisp_lint --self-check =="
+"$build_dir/tools/dyndisp_lint" --self-check --quiet
+
+echo "== dyndisp_lint --all src tests tools =="
+"$build_dir/tools/dyndisp_lint" --all src tests tools
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (tidy preset) =="
+    cmake --preset tidy >/dev/null
+    cmake --build --preset tidy
+else
+    echo "== clang-tidy not installed; skipped (CI lint job runs it) =="
+fi
+
+echo "lint.sh: all gates passed"

@@ -17,6 +17,9 @@ namespace {
 
 double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
+             // NOLINTNEXTLINE-dyndisp(determinism-wallclock): feeds only
+             // wall_ms, which check_determinism.sh zeroes via --no-timing
+             // before any byte comparison; never part of a result digest.
              std::chrono::steady_clock::now() - start)
       .count();
 }
@@ -26,6 +29,8 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
                              std::size_t threads, std::ostream* progress,
                              bool record_timing) {
+  // NOLINTNEXTLINE-dyndisp(determinism-wallclock): campaign wall_ms is
+  // reporting-only metadata (manifest run counters), not replayable output.
   const auto campaign_start = std::chrono::steady_clock::now();
   const std::string spec_hash = spec.hash();
   const std::vector<JobSpec> jobs = spec.expand();
@@ -33,6 +38,11 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
   // Resume: every job whose id already has a record is skipped. Records
   // carrying a different spec hash mean the directory belongs to another
   // campaign -- refuse rather than silently mixing result sets.
+  //
+  // Determinism audit (dyndisp_lint determinism-unordered-iter): `done` is
+  // hash-ordered but membership-only -- it is probed with count() and never
+  // iterated, so no output order can depend on it. The pending list below
+  // preserves the spec expansion's deterministic job order.
   std::unordered_set<std::string> done;
   for (const TrialRecord& record : store.load()) {
     if (record.spec_hash != spec_hash)
@@ -66,6 +76,8 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
     TrialRecord record;
     record.job = job;
     record.spec_hash = spec_hash;
+    // NOLINTNEXTLINE-dyndisp(determinism-wallclock): per-job wall_ms only;
+    // record_timing=false (--no-timing) zeroes it for byte-exact compares.
     const auto start = std::chrono::steady_clock::now();
     try {
       const analysis::TrialSpec trial = make_trial_spec(job);

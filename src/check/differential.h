@@ -31,13 +31,13 @@ struct DiffReport {
 
 /// Runs `config` at threads=1 and threads=`threads` through the identical
 /// construction path and compares digests.
-DiffReport diff_threads(const TrialConfig& config, const Toolbox& toolbox,
+[[nodiscard]] DiffReport diff_threads(const TrialConfig& config, const Toolbox& toolbox,
                         std::size_t threads);
 
 /// Runs `config` once through the campaign spec path and once through a
 /// replica of dyndisp_sim's construction and compares digests. Only valid
 /// for configs whose every name resolves through the shared registry (no
 /// toolbox extensions, no script).
-DiffReport diff_construction(const TrialConfig& config);
+[[nodiscard]] DiffReport diff_construction(const TrialConfig& config);
 
 }  // namespace dyndisp::check

@@ -38,10 +38,15 @@ TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
 
 FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox) {
   FuzzReport report;
+  // NOLINTNEXTLINE-dyndisp(determinism-wallclock): the CI budget cutoff
+  // only decides WHEN to stop drawing trials; each trial itself stays a
+  // pure function of its seed, so every failure replays identically.
   const auto start = std::chrono::steady_clock::now();
   const auto over_budget = [&] {
     if (options.budget_s <= 0) return false;
     const std::chrono::duration<double> elapsed =
+        // NOLINTNEXTLINE-dyndisp(determinism-wallclock): budget check only
+        // (see above); budget_s=0 disables it for exact-count runs.
         std::chrono::steady_clock::now() - start;
     return elapsed.count() > options.budget_s;
   };

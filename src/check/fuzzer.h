@@ -55,16 +55,16 @@ struct FuzzReport {
   bool budget_exhausted = false;
   std::vector<FuzzFailure> failures;
 
-  bool clean() const { return failures.empty(); }
+  [[nodiscard]] bool clean() const { return failures.empty(); }
 };
 
 /// Draws one random well-formed trial config. `n` is normalized to the
 /// constructed adversary's actual node count (families may round the
 /// requested size), so k and the placement always fit the real graph.
-TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
+[[nodiscard]] TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
                          const FuzzOptions& options);
 
 /// Runs the fuzz loop.
-FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox);
+[[nodiscard]] FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox);
 
 }  // namespace dyndisp::check

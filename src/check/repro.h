@@ -21,12 +21,12 @@ struct ReproArtifact {
 /// Serializes / parses the artifact document. parse throws
 /// std::invalid_argument on anything malformed (artifacts are untrusted:
 /// they travel through bug reports).
-std::string artifact_json(const ReproArtifact& artifact);
-ReproArtifact parse_artifact(const std::string& text);
+[[nodiscard]] std::string artifact_json(const ReproArtifact& artifact);
+[[nodiscard]] ReproArtifact parse_artifact(const std::string& text);
 
 /// File convenience wrappers; throw std::runtime_error on IO failure.
 void write_artifact(const ReproArtifact& artifact, const std::string& path);
-ReproArtifact load_artifact(const std::string& path);
+[[nodiscard]] ReproArtifact load_artifact(const std::string& path);
 
 struct ReplayOutcome {
   /// True iff the run violated the SAME oracle the artifact expects.
@@ -35,6 +35,6 @@ struct ReplayOutcome {
 };
 
 /// Re-runs the artifact's config with the full oracle set.
-ReplayOutcome replay(const ReproArtifact& artifact, const Toolbox& toolbox);
+[[nodiscard]] ReplayOutcome replay(const ReproArtifact& artifact, const Toolbox& toolbox);
 
 }  // namespace dyndisp::check

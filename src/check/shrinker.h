@@ -42,7 +42,7 @@ struct ShrinkResult {
 /// Shrinks `failing` (which violated `violation` under `toolbox`). The
 /// returned config always still violates the same oracle -- when no
 /// reduction helps, it is the input config unchanged.
-ShrinkResult shrink(const TrialConfig& failing, const Violation& violation,
+[[nodiscard]] ShrinkResult shrink(const TrialConfig& failing, const Violation& violation,
                     const Toolbox& toolbox, const ShrinkOptions& options = {});
 
 }  // namespace dyndisp::check

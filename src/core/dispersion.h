@@ -42,8 +42,13 @@ class DispersionRobot final : public RobotAlgorithm {
  private:
   RobotId id_;        // persistent: the robot's ceil(log2 k)-bit identity
   std::size_t k_;     // model parameter (IDs range over [1, k]); not state
-  std::shared_ptr<PlanCache> cache_;  // simulator-level optimization only
-  PlannerConfig config_;              // compile-time design choice, not state
+  // NOLINTNEXTLINE-dyndisp(metering-serialize-fields): shared memoization
+  // of a pure function of the round's packets -- an exact simulator-level
+  // optimization (tested against the faithful mode), not robot memory.
+  std::shared_ptr<PlanCache> cache_;
+  // NOLINTNEXTLINE-dyndisp(metering-serialize-fields): ablation design
+  // knob fixed at construction; a compile-time choice, not mutable state.
+  PlannerConfig config_;
 };
 
 /// Factory for the faithful mode: every robot independently recomputes the

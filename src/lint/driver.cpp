@@ -1,0 +1,125 @@
+#include "lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "lint/registry.h"
+
+namespace dyndisp::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+void walk(const fs::path& dir, std::vector<std::string>& out) {
+  // Deterministic traversal: sort each directory's entries by name.
+  std::vector<fs::path> entries;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    entries.push_back(e.path());
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& p : entries) {
+    if (fs::is_directory(p)) {
+      const std::string leaf = p.filename().string();
+      // Build trees, VCS internals, and the planted lint fixtures are
+      // never part of a recursive scan (fixtures are linted only when
+      // passed explicitly -- they exist to FAIL).
+      if (leaf == "build" || leaf.rfind("build-", 0) == 0 ||
+          leaf == ".git" || leaf == "lint_fixtures")
+        continue;
+      walk(p, out);
+    } else if (lintable_extension(p)) {
+      out.push_back(p.generic_string());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    if (!fs::exists(path))
+      throw std::runtime_error("lint: no such path: " + path);
+    if (fs::is_directory(path)) {
+      walk(path, files);
+    } else {
+      files.push_back(fs::path(path).generic_string());
+    }
+  }
+  // Stable order + dedupe (a file may be reachable through two roots).
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+LintReport lint_files(const std::vector<SourceFile>& files,
+                      const std::vector<std::string>& rule_names) {
+  std::vector<std::unique_ptr<Rule>> rules;
+  if (rule_names.empty()) {
+    rules = LintRegistry::instance().make_all();
+  } else {
+    for (const std::string& name : rule_names)
+      rules.push_back(LintRegistry::instance().make(name));
+  }
+
+  std::vector<Diagnostic> raw;
+  for (const std::unique_ptr<Rule>& rule : rules) {
+    for (const SourceFile& file : files) rule->check(file, raw);
+    rule->check_tree(files, raw);
+  }
+
+  // Apply suppressions. suppression-contract findings are never
+  // suppressible by the directive they complain about (a malformed
+  // directive is not well-formed, so it cannot match anyway).
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : files) by_path[file.path()] = &file;
+
+  LintReport report;
+  report.files_scanned = files.size();
+  for (Diagnostic& diag : raw) {
+    const auto it = by_path.find(diag.file);
+    if (it != by_path.end() && it->second->suppressed(diag.rule, diag.line)) {
+      ++report.suppressed;
+      continue;
+    }
+    report.diagnostics.push_back(std::move(diag));
+  }
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  report.diagnostics.erase(
+      std::unique(report.diagnostics.begin(), report.diagnostics.end()),
+      report.diagnostics.end());
+  return report;
+}
+
+LintReport lint_paths(const LintOptions& options) {
+  std::vector<SourceFile> files;
+  for (const std::string& path : collect_sources(options.paths))
+    files.push_back(SourceFile::load(path));
+  return lint_files(files, options.rules);
+}
+
+void print_report(const LintReport& report, std::ostream& out) {
+  for (const Diagnostic& diag : report.diagnostics) {
+    out << diag.file << ":" << diag.line << ": [" << diag.rule << "] "
+        << diag.message << "\n";
+  }
+  out << "dyndisp_lint: " << report.files_scanned << " file(s), "
+      << report.diagnostics.size() << " finding(s), " << report.suppressed
+      << " suppressed with justification\n";
+}
+
+}  // namespace dyndisp::lint

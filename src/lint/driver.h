@@ -1,0 +1,50 @@
+// The lint driver: collects source files, runs the selected rules,
+// applies the NOLINT-dyndisp suppressions, and produces a deterministic,
+// sorted diagnostic report. tools/dyndisp_lint is a thin CLI over this;
+// tests call it directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace dyndisp::lint {
+
+struct LintOptions {
+  /// Rule names to run; empty = every registered rule.
+  std::vector<std::string> rules;
+  /// Files or directories to scan. Directories are walked recursively for
+  /// .h/.hpp/.cpp/.cc files in sorted order; a directory named
+  /// `lint_fixtures` is skipped unless it is itself a root (the planted
+  /// fixtures must not fail the tree scan).
+  std::vector<std::string> paths;
+};
+
+struct LintReport {
+  /// Post-suppression diagnostics, sorted by (file, line, rule).
+  std::vector<Diagnostic> diagnostics;
+  std::size_t files_scanned = 0;
+  /// Diagnostics dropped by a well-formed, justified suppression.
+  std::size_t suppressed = 0;
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Expands files/directories into the sorted list of source files to scan.
+/// Throws std::runtime_error on a path that does not exist.
+[[nodiscard]] std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths);
+
+/// Runs `rule_names` (empty = all) over already-loaded files.
+[[nodiscard]] LintReport lint_files(const std::vector<SourceFile>& files,
+                                    const std::vector<std::string>& rule_names);
+
+/// Collect + load + lint in one call.
+[[nodiscard]] LintReport lint_paths(const LintOptions& options);
+
+/// Writes "file:line: [rule] message" lines plus a one-line summary.
+void print_report(const LintReport& report, std::ostream& out);
+
+}  // namespace dyndisp::lint

@@ -1,0 +1,53 @@
+#include "lint/registry.h"
+
+#include <stdexcept>
+
+#include "lint/rules.h"
+
+namespace dyndisp::lint {
+
+LintRegistry::LintRegistry() {
+  rules_["determinism-random"] = make_random_rule;
+  rules_["determinism-wallclock"] = make_wallclock_rule;
+  rules_["determinism-unordered-iter"] = make_unordered_iter_rule;
+  rules_["metering-serialize-fields"] = make_serialize_fields_rule;
+  rules_["hygiene-include-cycle"] = make_include_cycle_rule;
+  rules_["suppression-contract"] = make_suppression_contract_rule;
+}
+
+const LintRegistry& LintRegistry::instance() {
+  static const LintRegistry registry;
+  return registry;
+}
+
+std::unique_ptr<Rule> LintRegistry::make(const std::string& name) const {
+  const auto it = rules_.find(name);
+  if (it == rules_.end())
+    throw std::invalid_argument("unknown lint rule '" + name +
+                                "' (dyndisp_lint --list shows all rules)");
+  return it->second();
+}
+
+std::vector<std::unique_ptr<Rule>> LintRegistry::make_all() const {
+  std::vector<std::unique_ptr<Rule>> all;
+  all.reserve(rules_.size());
+  for (const auto& [name, factory] : rules_) all.push_back(factory());
+  return all;
+}
+
+bool LintRegistry::has(const std::string& name) const {
+  return rules_.count(name) != 0;
+}
+
+std::vector<std::string> LintRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(rules_.size());
+  for (const auto& [name, factory] : rules_) names.push_back(name);
+  return names;
+}
+
+std::string LintRegistry::description(const std::string& name) const {
+  return make(name)->description();
+}
+
+}  // namespace dyndisp::lint

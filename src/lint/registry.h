@@ -1,0 +1,46 @@
+// The lint-rule registry: string name -> rule factory, the same idiom as
+// src/campaign/registry.h. Rule names are stable identifiers -- they
+// appear in NOLINT-dyndisp suppressions, CLI flags, and CI logs; renaming
+// one is a format break that invalidates existing suppressions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace dyndisp::lint {
+
+class LintRegistry {
+ public:
+  static const LintRegistry& instance();
+
+  LintRegistry(const LintRegistry&) = delete;
+  LintRegistry& operator=(const LintRegistry&) = delete;
+
+  /// Constructs the named rule; throws std::invalid_argument naming the
+  /// offending key on an unknown name (so CLI errors read like the
+  /// campaign registry's).
+  std::unique_ptr<Rule> make(const std::string& name) const;
+
+  /// Every registered rule, in lexicographic name order.
+  std::vector<std::unique_ptr<Rule>> make_all() const;
+
+  bool has(const std::string& name) const;
+
+  /// Registered names in lexicographic order (deterministic for --list).
+  std::vector<std::string> names() const;
+
+  /// The rule's one-line description (for --list).
+  std::string description(const std::string& name) const;
+
+ private:
+  LintRegistry();
+
+  std::map<std::string, std::function<std::unique_ptr<Rule>()>> rules_;
+};
+
+}  // namespace dyndisp::lint

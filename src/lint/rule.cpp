@@ -1,0 +1,10 @@
+#include "lint/rule.h"
+
+namespace dyndisp::lint {
+
+void Rule::check(const SourceFile&, std::vector<Diagnostic>&) const {}
+
+void Rule::check_tree(const std::vector<SourceFile>&,
+                      std::vector<Diagnostic>&) const {}
+
+}  // namespace dyndisp::lint

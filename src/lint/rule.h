@@ -1,0 +1,44 @@
+// The lint rule interface and its diagnostic record.
+//
+// Rules come in two shapes: per-file rules override check() and see one
+// tokenized file at a time; whole-tree rules override check_tree() and see
+// every scanned file at once (include cycles, field/serialize pairing
+// across header/impl splits). A rule may implement both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/source_file.h"
+
+namespace dyndisp::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable rule identifier; appears in diagnostics and in
+  /// NOLINT-dyndisp(...) suppressions. Renaming one invalidates existing
+  /// suppressions, so treat names like the campaign registry treats its
+  /// keys: as a format.
+  virtual std::string name() const = 0;
+
+  virtual std::string description() const = 0;
+
+  virtual void check(const SourceFile& file,
+                     std::vector<Diagnostic>& out) const;
+
+  virtual void check_tree(const std::vector<SourceFile>& files,
+                          std::vector<Diagnostic>& out) const;
+};
+
+}  // namespace dyndisp::lint

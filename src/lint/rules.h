@@ -1,0 +1,46 @@
+// Factories for the project-specific lint rules (docs/STATIC_ANALYSIS.md
+// catalogues each one). Construction goes through registry.cpp's name ->
+// factory map; these are the factories it binds.
+#pragma once
+
+#include <memory>
+
+#include "lint/rule.h"
+
+namespace dyndisp::lint {
+
+/// determinism-random: bans non-deterministic / platform-dependent RNG
+/// sources (std::rand, std::random_device, drand48, ...). Every random
+/// draw in this repo must come from util/rng.h's seeded Rng, or trials
+/// stop being replayable.
+std::unique_ptr<Rule> make_random_rule();
+
+/// determinism-wallclock: flags clock reads (any `::now()`, C time APIs).
+/// Wall-clock values that leak into recorded output break bitwise
+/// determinism; the sanctioned sites (scheduler wall_ms, fuzz budget)
+/// carry NOLINT-dyndisp justifications, and bench/ timers are allowlisted
+/// by path.
+std::unique_ptr<Rule> make_wallclock_rule();
+
+/// determinism-unordered-iter: flags iteration (range-for, begin/end) over
+/// std::unordered_map/unordered_set variables. Hash-order iteration makes
+/// output order depend on the standard library's hash seed; membership
+/// tests and lookups are fine.
+std::unique_ptr<Rule> make_unordered_iter_rule();
+
+/// metering-serialize-fields: every persistent field (trailing-underscore
+/// member) of a class that implements serialize(BitWriter&) must be routed
+/// through that serializer, or the Lemma 8 memory meter undercounts.
+/// Fields that are genuinely not between-round state carry a
+/// NOLINT-dyndisp justification.
+std::unique_ptr<Rule> make_serialize_fields_rule();
+
+/// hygiene-include-cycle: detects #include cycles among the scanned files.
+std::unique_ptr<Rule> make_include_cycle_rule();
+
+/// suppression-contract: validates every NOLINT-dyndisp directive -- a
+/// rule list is mandatory, the justification is mandatory, and the named
+/// rules must exist.
+std::unique_ptr<Rule> make_suppression_contract_rule();
+
+}  // namespace dyndisp::lint

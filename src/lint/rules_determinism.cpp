@@ -1,0 +1,247 @@
+// The determinism rules. The repo's core claim -- bitwise-identical runs
+// at any --threads, across processes, replayable from a seed -- dies the
+// moment an unseeded RNG, a wall-clock read, or a hash-order iteration
+// reaches an output path. These rules reject the hazards at lint time; the
+// runtime differential oracles (src/check/differential.h) only sample them.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace dyndisp::lint {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool followed_by_open_paren(const std::vector<Token>& tokens,
+                            std::size_t i) {
+  return i + 1 < tokens.size() && tokens[i + 1].kind == TokenKind::kPunct &&
+         tokens[i + 1].text == "(";
+}
+
+// ---------------------------------------------------------------------------
+
+class RandomRule final : public Rule {
+ public:
+  std::string name() const override { return "determinism-random"; }
+  std::string description() const override {
+    return "ban non-deterministic RNG sources; all randomness must come "
+           "from util/rng.h's seeded Rng";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string> kBanned = {
+        "rand",         "srand",   "rand_r",        "drand48",
+        "lrand48",      "mrand48", "random_device", "random_shuffle",
+        "default_random_engine"};
+    const std::vector<Token>& tokens = file.tokens();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier || !kBanned.count(t.text))
+        continue;
+      // `rand` etc. must look like a use, not a member/field name: require
+      // a call or a type position (random_device/default_random_engine are
+      // flagged on sight -- declaring one is already the hazard).
+      const bool type_like =
+          t.text == "random_device" || t.text == "default_random_engine";
+      if (!type_like && !followed_by_open_paren(tokens, i)) continue;
+      out.push_back(Diagnostic{
+          file.path(), t.line, name(),
+          "'" + t.text +
+              "' is a non-deterministic randomness source; draw from a "
+              "seeded util/rng.h Rng instead so trials stay replayable"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class WallclockRule final : public Rule {
+ public:
+  std::string name() const override { return "determinism-wallclock"; }
+  std::string description() const override {
+    return "flag clock reads (chrono ::now(), C time APIs); timing must "
+           "not leak into deterministic output paths (bench/ timers are "
+           "allowlisted)";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    // The allowlist: bench timers measure wall time on purpose, and their
+    // output is explicitly a measurement, never an input to a result
+    // digest or a store record.
+    if (file.in_dir("bench")) return;
+    static const std::set<std::string> kCTimeApis = {
+        "time",      "clock",        "clock_gettime", "gettimeofday",
+        "localtime", "gmtime",       "ctime",         "mktime",
+        "asctime",   "timespec_get", "ftime"};
+    const std::vector<Token>& tokens = file.tokens();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      // chrono clock reads: `<clock> :: now (`.
+      if (t.text == "now" && i > 0 && tokens[i - 1].kind == TokenKind::kPunct &&
+          tokens[i - 1].text == "::" && followed_by_open_paren(tokens, i)) {
+        const std::string clock_name =
+            i >= 2 && tokens[i - 2].kind == TokenKind::kIdentifier
+                ? tokens[i - 2].text
+                : "clock";
+        out.push_back(Diagnostic{
+            file.path(), t.line, name(),
+            "clock read '" + clock_name +
+                "::now()' in a deterministic path; justify with "
+                "NOLINT-dyndisp if the value never reaches replayable "
+                "output"});
+        continue;
+      }
+      if (kCTimeApis.count(t.text) && followed_by_open_paren(tokens, i)) {
+        // Skip declarations/uses of members literally named `time` etc.:
+        // require either a `std::`/`::` qualifier or a bare call that is
+        // not preceded by `.` or `->` member access.
+        if (i > 0 && tokens[i - 1].kind == TokenKind::kPunct &&
+            (tokens[i - 1].text == "." || tokens[i - 1].text == ">"))
+          continue;
+        out.push_back(Diagnostic{
+            file.path(), t.line, name(),
+            "C time API '" + t.text +
+                "()' reads the wall clock; deterministic paths must not "
+                "depend on it"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class UnorderedIterRule final : public Rule {
+ public:
+  std::string name() const override { return "determinism-unordered-iter"; }
+  std::string description() const override {
+    return "flag iteration over unordered containers (hash-order output); "
+           "membership tests are fine, ordered output paths need std::map "
+           "or a sort";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    const std::vector<Token>& tokens = file.tokens();
+    const std::set<std::string> names = declared_unordered_names(tokens);
+    if (names.empty()) return;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      // Range-for: `for ( ... : NAME )` with NAME in the head's range
+      // expression (after the ':' at parenthesis depth 1).
+      if (is_ident(t, "for") && followed_by_open_paren(tokens, i)) {
+        check_range_for(file, tokens, i + 1, names, out);
+        continue;
+      }
+      // Explicit iterator walk: NAME . begin ( / NAME . rbegin ( etc.
+      if (t.kind == TokenKind::kIdentifier && names.count(t.text) &&
+          i + 2 < tokens.size() && tokens[i + 1].kind == TokenKind::kPunct &&
+          tokens[i + 1].text == "." &&
+          tokens[i + 2].kind == TokenKind::kIdentifier) {
+        static const std::set<std::string> kIterFns = {
+            "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+        if (kIterFns.count(tokens[i + 2].text) &&
+            followed_by_open_paren(tokens, i + 2)) {
+          out.push_back(iteration_diag(file, t.line, t.text));
+        }
+      }
+    }
+  }
+
+ private:
+  Diagnostic iteration_diag(const SourceFile& file, int line,
+                            const std::string& var) const {
+    return Diagnostic{
+        file.path(), line, name(),
+        "iteration over unordered container '" + var +
+            "' visits elements in hash order; anything derived from this "
+            "order (output, records, aggregation) is non-deterministic -- "
+            "use std::map / a sorted vector, or justify with "
+            "NOLINT-dyndisp"};
+  }
+
+  // Collects variable/member names declared with an unordered container
+  // type in this file: `unordered_map< ... > [&*]* NAME`.
+  static std::set<std::string> declared_unordered_names(
+      const std::vector<Token>& tokens) {
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text != "unordered_map" && t.text != "unordered_set" &&
+          t.text != "unordered_multimap" && t.text != "unordered_multiset")
+        continue;
+      std::size_t j = i + 1;
+      // Balance the template argument list ('>' is always a single-char
+      // token, so nested `>>` closers count one level each).
+      if (j < tokens.size() && tokens[j].kind == TokenKind::kPunct &&
+          tokens[j].text == "<") {
+        int depth = 0;
+        for (; j < tokens.size(); ++j) {
+          if (tokens[j].kind != TokenKind::kPunct) continue;
+          if (tokens[j].text == "<") ++depth;
+          if (tokens[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < tokens.size() && tokens[j].kind == TokenKind::kPunct &&
+             (tokens[j].text == "&" || tokens[j].text == "*"))
+        ++j;
+      if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier)
+        names.insert(tokens[j].text);
+    }
+    return names;
+  }
+
+  void check_range_for(const SourceFile& file,
+                       const std::vector<Token>& tokens, std::size_t open,
+                       const std::set<std::string>& names,
+                       std::vector<Diagnostic>& out) const {
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = open; j < tokens.size(); ++j) {
+      if (tokens[j].kind != TokenKind::kPunct) continue;
+      if (tokens[j].text == "(") ++depth;
+      if (tokens[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (tokens[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      if (tokens[j].text == ";" && depth == 1) return;  // classic for
+    }
+    if (colon == 0 || close == 0) return;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (tokens[j].kind == TokenKind::kIdentifier &&
+          names.count(tokens[j].text)) {
+        out.push_back(iteration_diag(file, tokens[j].line, tokens[j].text));
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_random_rule() {
+  return std::make_unique<RandomRule>();
+}
+
+std::unique_ptr<Rule> make_wallclock_rule() {
+  return std::make_unique<WallclockRule>();
+}
+
+std::unique_ptr<Rule> make_unordered_iter_rule() {
+  return std::make_unique<UnorderedIterRule>();
+}
+
+}  // namespace dyndisp::lint

@@ -1,0 +1,175 @@
+// Hygiene rules: include-cycle detection over the scanned tree, and the
+// suppression contract that keeps NOLINT-dyndisp honest (a suppression
+// without a justification is itself a finding, mirroring how
+// src/check/planted.h keeps the fuzzer honest).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/registry.h"
+#include "lint/rules.h"
+
+namespace dyndisp::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+
+class IncludeCycleRule final : public Rule {
+ public:
+  std::string name() const override { return "hygiene-include-cycle"; }
+  std::string description() const override {
+    return "detect #include cycles among the scanned files";
+  }
+
+  void check_tree(const std::vector<SourceFile>& files,
+                  std::vector<Diagnostic>& out) const override {
+    // Resolve quoted includes by path suffix: the repo includes with
+    // src-root-relative paths ("campaign/registry.h"), while scan paths
+    // carry the tree prefix ("src/campaign/registry.h").
+    std::map<std::string, int> index;
+    for (std::size_t i = 0; i < files.size(); ++i)
+      index[files[i].path()] = static_cast<int>(i);
+
+    auto resolve = [&](const std::string& inc) -> int {
+      if (const auto it = index.find(inc); it != index.end())
+        return it->second;
+      int match = -1;
+      const std::string suffix = "/" + inc;
+      for (const auto& [path, i] : index) {
+        if (path.size() > suffix.size() &&
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+          if (match >= 0) return -1;  // ambiguous; stay silent
+          match = i;
+        }
+      }
+      return match;
+    };
+
+    const int n = static_cast<int>(files.size());
+    std::vector<std::vector<std::pair<int, int>>> edges(n);  // (target, line)
+    for (int i = 0; i < n; ++i) {
+      for (const IncludeDirective& inc : files[i].stream().includes) {
+        if (inc.angled) continue;
+        const int target = resolve(inc.path);
+        if (target >= 0 && target != i)
+          edges[i].push_back({target, inc.line});
+      }
+    }
+
+    // Iterative DFS with an explicit stack; a back edge to a gray node
+    // closes a cycle. Each cycle is reported once, rotated to start at its
+    // lexicographically smallest file.
+    std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+    std::vector<int> parent(n, -1), parent_line(n, 0);
+    std::set<std::vector<std::string>> reported;
+    for (int root = 0; root < n; ++root) {
+      if (color[root] != 0) continue;
+      dfs(root, files, edges, color, parent, parent_line, reported, out);
+    }
+  }
+
+ private:
+  void dfs(int root, const std::vector<SourceFile>& files,
+           const std::vector<std::vector<std::pair<int, int>>>& edges,
+           std::vector<int>& color, std::vector<int>& parent,
+           std::vector<int>& parent_line,
+           std::set<std::vector<std::string>>& reported,
+           std::vector<Diagnostic>& out) const {
+    struct StackEntry {
+      int node;
+      std::size_t next_edge = 0;
+    };
+    std::vector<StackEntry> stack{{root}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      StackEntry& top = stack.back();
+      if (top.next_edge >= edges[top.node].size()) {
+        color[top.node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const auto [target, line] = edges[top.node][top.next_edge++];
+      if (color[target] == 0) {
+        color[target] = 1;
+        parent[target] = top.node;
+        parent_line[target] = line;
+        stack.push_back({target});
+      } else if (color[target] == 1) {
+        report_cycle(top.node, target, line, files, parent, reported, out);
+      }
+    }
+  }
+
+  void report_cycle(int from, int to, int line,
+                    const std::vector<SourceFile>& files,
+                    const std::vector<int>& parent,
+                    std::set<std::vector<std::string>>& reported,
+                    std::vector<Diagnostic>& out) const {
+    std::vector<int> cycle{from};
+    for (int v = from; v != to; v = parent[v]) {
+      if (parent[v] < 0) return;  // stale gray chain; not an ancestor
+      cycle.push_back(parent[v]);
+    }
+    std::reverse(cycle.begin(), cycle.end());  // to -> ... -> from
+
+    std::vector<std::string> names;
+    names.reserve(cycle.size());
+    for (const int v : cycle) names.push_back(files[v].path());
+    // Canonical form: rotate so the smallest path leads.
+    const auto smallest = std::min_element(names.begin(), names.end());
+    std::vector<std::string> canonical(smallest, names.end());
+    canonical.insert(canonical.end(), names.begin(), smallest);
+    if (!reported.insert(canonical).second) return;
+
+    std::string chain;
+    for (const std::string& p : canonical) chain += p + " -> ";
+    chain += canonical.front();
+    out.push_back(Diagnostic{files[from].path(), line, name(),
+                             "#include cycle: " + chain});
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class SuppressionContractRule final : public Rule {
+ public:
+  std::string name() const override { return "suppression-contract"; }
+  std::string description() const override {
+    return "NOLINT-dyndisp directives must name an existing rule and carry "
+           "a non-empty justification";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    for (const Suppression& s : file.suppressions()) {
+      if (!s.well_formed) {
+        out.push_back(
+            Diagnostic{file.path(), s.comment_line, name(), s.error});
+        continue;
+      }
+      if (!LintRegistry::instance().has(s.rule)) {
+        out.push_back(Diagnostic{
+            file.path(), s.comment_line, name(),
+            "suppression names unknown rule '" + s.rule +
+                "' (see dyndisp_lint --list); a typo here silently "
+                "suppresses nothing"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_include_cycle_rule() {
+  return std::make_unique<IncludeCycleRule>();
+}
+
+std::unique_ptr<Rule> make_suppression_contract_rule() {
+  return std::make_unique<SuppressionContractRule>();
+}
+
+}  // namespace dyndisp::lint

@@ -1,0 +1,261 @@
+// metering-serialize-fields: the honesty check behind the Lemma 8 memory
+// audit.
+//
+// The engine meters a robot's persistent memory as the bit count its
+// serialize(BitWriter&) emits (src/sim/memory_meter.h). That number is only
+// honest if EVERY between-round member actually flows through the
+// serializer -- a field that is carried across rounds but skipped in
+// serialize() is unmetered state, and the Theta(log k) claim silently
+// stops being audited.
+//
+// Heuristic pairing: inside any class that implements
+// serialize(BitWriter&), every trailing-underscore member must be named
+// somewhere in that class's serialize body (inline or out-of-line
+// ClassName::serialize in any scanned file). Members that are genuinely
+// not between-round state (model parameters, shared caches, config knobs)
+// carry a NOLINT-dyndisp(metering-serialize-fields) justification on their
+// declaration line.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace dyndisp::lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;
+  bool has_serialize = false;
+  std::vector<FieldDecl> fields;
+  std::set<std::string> inline_body_idents;
+  bool inline_body_seen = false;
+};
+
+// Collects identifier texts of the brace-balanced body starting at
+// tokens[open] == "{"; returns the index just past the closing brace.
+std::size_t capture_body(const std::vector<Token>& tokens, std::size_t open,
+                         std::set<std::string>& idents) {
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "{")) ++depth;
+    if (is_punct(tokens[i], "}") && --depth == 0) return i + 1;
+    if (tokens[i].kind == TokenKind::kIdentifier)
+      idents.insert(tokens[i].text);
+  }
+  return i;
+}
+
+// True when the parameter list starting at tokens[open] == "(" mentions
+// BitWriter; sets `close` to the index of the matching ")".
+bool paren_mentions_bitwriter(const std::vector<Token>& tokens,
+                              std::size_t open, std::size_t& close) {
+  int depth = 0;
+  bool found = false;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "(")) ++depth;
+    if (is_punct(tokens[i], ")") && --depth == 0) {
+      close = i;
+      return found;
+    }
+    if (tokens[i].kind == TokenKind::kIdentifier &&
+        tokens[i].text == "BitWriter")
+      found = true;
+  }
+  return false;
+}
+
+// Skips trailing function qualifiers after the parameter list.
+std::size_t skip_qualifiers(const std::vector<Token>& tokens, std::size_t i) {
+  static const std::set<std::string> kQualifiers = {"const", "override",
+                                                    "final", "noexcept"};
+  while (i < tokens.size() && tokens[i].kind == TokenKind::kIdentifier &&
+         kQualifiers.count(tokens[i].text))
+    ++i;
+  return i;
+}
+
+class FileScanner {
+ public:
+  FileScanner(const SourceFile& file, std::vector<ClassInfo>& classes,
+              std::map<std::string, std::set<std::string>>& out_of_line)
+      : file_(file), classes_(classes), out_of_line_(out_of_line) {}
+
+  void run() {
+    const std::vector<Token>& tokens = file_.tokens();
+    for (std::size_t i = 0; i < tokens.size(); ++i) i = step(tokens, i);
+  }
+
+ private:
+  struct Frame {
+    int class_index = -1;  ///< Index into classes_, or -1 for a plain scope.
+  };
+
+  bool in_class() const {
+    return !frames_.empty() && frames_.back().class_index >= 0;
+  }
+
+  // Processes tokens[i]; returns the index whose successor should be
+  // processed next (usually i itself).
+  std::size_t step(const std::vector<Token>& tokens, std::size_t i) {
+    const Token& t = tokens[i];
+
+    // Track `class X` / `struct X` heads so the next '{' opens a class
+    // scope. Template parameters (`template <class T>`) and enum classes
+    // are not class heads.
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "class" || t.text == "struct")) {
+      const bool template_param =
+          i > 0 && (is_punct(tokens[i - 1], "<") || is_punct(tokens[i - 1], ","));
+      const bool enum_class =
+          i > 0 && tokens[i - 1].kind == TokenKind::kIdentifier &&
+          tokens[i - 1].text == "enum";
+      if (!template_param && !enum_class && i + 1 < tokens.size() &&
+          tokens[i + 1].kind == TokenKind::kIdentifier) {
+        pending_class_ = tokens[i + 1].text;
+      }
+      return i;
+    }
+    if (is_punct(t, ";") || is_punct(t, "=")) {
+      // `class X;` forward declaration / `using Y = ...` alias -- the
+      // pending head never opens a scope.
+      pending_class_.clear();
+      return i;
+    }
+    if (is_punct(t, "{")) {
+      Frame frame;
+      if (!pending_class_.empty()) {
+        frame.class_index = static_cast<int>(classes_.size());
+        ClassInfo info;
+        info.name = pending_class_;
+        info.file = file_.path();
+        classes_.push_back(info);
+        pending_class_.clear();
+      }
+      frames_.push_back(frame);
+      return i;
+    }
+    if (is_punct(t, "}")) {
+      if (!frames_.empty()) frames_.pop_back();
+      return i;
+    }
+
+    // Out-of-line `ClassName::serialize(BitWriter&...) const {`.
+    if (t.kind == TokenKind::kIdentifier && t.text == "serialize" && i >= 2 &&
+        is_punct(tokens[i - 1], "::") &&
+        tokens[i - 2].kind == TokenKind::kIdentifier &&
+        i + 1 < tokens.size() && is_punct(tokens[i + 1], "(")) {
+      std::size_t close = 0;
+      if (!paren_mentions_bitwriter(tokens, i + 1, close)) return i;
+      std::size_t j = skip_qualifiers(tokens, close + 1);
+      if (j < tokens.size() && is_punct(tokens[j], "{")) {
+        std::set<std::string>& idents = out_of_line_[tokens[i - 2].text];
+        return capture_body(tokens, j, idents) - 1;
+      }
+      return i;
+    }
+
+    if (!in_class()) return i;
+    ClassInfo& cls = classes_[frames_.back().class_index];
+
+    // In-class `serialize(BitWriter&...)` declaration or inline definition.
+    if (t.kind == TokenKind::kIdentifier && t.text == "serialize" &&
+        i + 1 < tokens.size() && is_punct(tokens[i + 1], "(") &&
+        !(i > 0 && is_punct(tokens[i - 1], "::"))) {
+      std::size_t close = 0;
+      if (!paren_mentions_bitwriter(tokens, i + 1, close)) return i;
+      cls.has_serialize = true;
+      std::size_t j = skip_qualifiers(tokens, close + 1);
+      if (j < tokens.size() && is_punct(tokens[j], "{")) {
+        cls.inline_body_seen = true;
+        return capture_body(tokens, j, cls.inline_body_idents) - 1;
+      }
+      return i;
+    }
+
+    // Member field: trailing-underscore identifier at the class's immediate
+    // scope, followed by a declarator terminator. Method bodies push plain
+    // frames (or are captured above), so locals never reach here.
+    if (t.kind == TokenKind::kIdentifier && t.text.size() > 1 &&
+        t.text.back() == '_' && i + 1 < tokens.size() &&
+        (is_punct(tokens[i + 1], ";") || is_punct(tokens[i + 1], "=") ||
+         is_punct(tokens[i + 1], "{") || is_punct(tokens[i + 1], "["))) {
+      // `= default;` style appears after constructors, never after a
+      // trailing-underscore name, so this is a declaration.
+      cls.fields.push_back(FieldDecl{t.text, t.line});
+      // A brace initializer opens a scope we must not treat as code.
+      if (is_punct(tokens[i + 1], "{")) {
+        std::set<std::string> ignored;
+        return capture_body(tokens, i + 1, ignored) - 1;
+      }
+    }
+    return i;
+  }
+
+  const SourceFile& file_;
+  std::vector<ClassInfo>& classes_;
+  std::map<std::string, std::set<std::string>>& out_of_line_;
+  std::vector<Frame> frames_;
+  std::string pending_class_;
+};
+
+class SerializeFieldsRule final : public Rule {
+ public:
+  std::string name() const override { return "metering-serialize-fields"; }
+  std::string description() const override {
+    return "every persistent field of a serialize(BitWriter&) class must "
+           "be routed through the serializer (Lemma 8 metering honesty)";
+  }
+
+  void check_tree(const std::vector<SourceFile>& files,
+                  std::vector<Diagnostic>& out) const override {
+    std::vector<ClassInfo> classes;
+    std::map<std::string, std::set<std::string>> out_of_line;
+    for (const SourceFile& file : files)
+      FileScanner(file, classes, out_of_line).run();
+
+    for (const ClassInfo& cls : classes) {
+      if (!cls.has_serialize || cls.fields.empty()) continue;
+      std::set<std::string> body = cls.inline_body_idents;
+      bool body_seen = cls.inline_body_seen;
+      if (const auto it = out_of_line.find(cls.name);
+          it != out_of_line.end()) {
+        body.insert(it->second.begin(), it->second.end());
+        body_seen = true;
+      }
+      // Headers scanned without their implementation: nothing to pair
+      // against, so nothing to claim.
+      if (!body_seen) continue;
+      for (const FieldDecl& field : cls.fields) {
+        if (body.count(field.name)) continue;
+        out.push_back(Diagnostic{
+            cls.file, field.line, name(),
+            "field '" + field.name + "' of " + cls.name +
+                " never reaches serialize(BitWriter&); the Lemma 8 memory "
+                "meter undercounts it -- serialize it, or justify with "
+                "NOLINT-dyndisp why it is not between-round state"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_serialize_fields_rule() {
+  return std::make_unique<SerializeFieldsRule>();
+}
+
+}  // namespace dyndisp::lint

@@ -1,0 +1,23 @@
+// Planted-violation self-test for the lint pass, mirroring
+// src/check/planted.h: every registered rule ships an embedded snippet
+// that MUST produce a finding, a clean snippet that must NOT, and the
+// suppression semantics are proven both ways (justified suppression
+// silences the finding; bare suppression does not, and is itself
+// reported). `dyndisp_lint --self-check` runs this before CI trusts a
+// green tree scan.
+#pragma once
+
+#include <string>
+
+namespace dyndisp::lint {
+
+struct SelfCheckResult {
+  bool ok = true;
+  /// Human-readable transcript; on failure, names the rule and the
+  /// expectation that broke.
+  std::string detail;
+};
+
+[[nodiscard]] SelfCheckResult run_self_check();
+
+}  // namespace dyndisp::lint

@@ -1,0 +1,156 @@
+#include "lint/source_file.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dyndisp::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_rules(const std::string& list) {
+  std::vector<std::string> rules;
+  std::string current;
+  for (const char c : list) {
+    if (c == ',') {
+      rules.push_back(trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  rules.push_back(trim(current));
+  return rules;
+}
+
+// Parses one directive starting at `at` (the index of the 'N' of NOLINT...)
+// inside the comment text. Emits one Suppression per listed rule.
+void parse_directive(const CommentText& comment, std::size_t at,
+                     bool next_line, std::vector<Suppression>& out) {
+  const std::string& text = comment.text;
+
+  Suppression proto;
+  proto.comment_line = comment.line;
+  proto.next_line = next_line;
+  // NEXTLINE targets are resolved against the token stream by the
+  // SourceFile constructor (continuation comment lines must not count as
+  // the "next line"); this is the provisional value.
+  proto.target_line = next_line ? comment.line + 1 : comment.line;
+
+  const std::size_t open = text.find_first_not_of(' ', at);
+  if (open == std::string::npos || text[open] != '(') {
+    proto.error = "NOLINT-dyndisp needs an explicit rule list: "
+                  "NOLINT-dyndisp(rule): reason";
+    out.push_back(std::move(proto));
+    return;
+  }
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) {
+    proto.error = "unterminated rule list in NOLINT-dyndisp directive";
+    out.push_back(std::move(proto));
+    return;
+  }
+  const std::size_t colon = text.find(':', close);
+  const std::string reason =
+      colon == std::string::npos ? "" : trim(text.substr(colon + 1));
+  for (const std::string& rule : split_rules(
+           text.substr(open + 1, close - open - 1))) {
+    Suppression s = proto;
+    s.rule = rule;
+    s.reason = reason;
+    if (rule.empty()) {
+      s.error = "empty rule name in NOLINT-dyndisp directive";
+    } else if (reason.empty()) {
+      s.error = "suppression of '" + rule +
+                "' lacks a justification (NOLINT-dyndisp(" + rule +
+                "): reason)";
+    } else {
+      s.well_formed = true;
+    }
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+std::vector<Suppression> parse_suppressions(
+    const std::vector<CommentText>& comments) {
+  static const std::string kSame = "NOLINT-dyndisp";
+  static const std::string kNext = "NOLINTNEXTLINE-dyndisp";
+  std::vector<Suppression> out;
+  for (const CommentText& comment : comments) {
+    // A directive must be the comment's leading content. Mentions embedded
+    // in prose (e.g. documentation quoting the contract) are not
+    // directives; this is what lets docs/STATIC_ANALYSIS.md describe the
+    // syntax without suppressing anything.
+    const std::size_t start =
+        comment.text.find_first_not_of(" \t", 0);
+    if (start == std::string::npos) continue;
+    if (comment.text.compare(start, kNext.size(), kNext) == 0) {
+      parse_directive(comment, start + kNext.size(), /*next_line=*/true, out);
+    } else if (comment.text.compare(start, kSame.size(), kSame) == 0) {
+      parse_directive(comment, start + kSame.size(), /*next_line=*/false,
+                      out);
+    }
+  }
+  return out;
+}
+
+SourceFile SourceFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("lint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(path, buffer.str());
+}
+
+SourceFile SourceFile::from_string(std::string path, const std::string& text) {
+  SourceFile file;
+  file.path_ = std::move(path);
+  file.stream_ = tokenize(text);
+  file.suppressions_ = parse_suppressions(file.stream_.comments);
+  // Resolve NOLINTNEXTLINE targets: the first code token strictly after
+  // the directive's line, so a justification may wrap over several
+  // comment-only lines before the code it covers.
+  for (Suppression& s : file.suppressions_) {
+    if (!s.next_line) continue;
+    for (const Token& t : file.stream_.tokens) {
+      if (t.line > s.comment_line) {
+        s.target_line = t.line;
+        break;
+      }
+    }
+  }
+  return file;
+}
+
+bool SourceFile::suppressed(const std::string& rule, int line) const {
+  for (const Suppression& s : suppressions_) {
+    if (s.well_formed && s.rule == rule && s.target_line == line) return true;
+  }
+  return false;
+}
+
+bool SourceFile::in_dir(const std::string& dir) const {
+  std::size_t pos = 0;
+  while (pos <= path_.size()) {
+    const std::size_t slash = path_.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? path_.size() : slash;
+    if (path_.compare(pos, end - pos, dir) == 0) return true;
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  return false;
+}
+
+}  // namespace dyndisp::lint

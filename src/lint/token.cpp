@@ -1,0 +1,273 @@
+#include "lint/token.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace dyndisp::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  TokenStream run() {
+    while (pos_ < text_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      at_line_start_ = true;
+    }
+    return c;
+  }
+
+  void push(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+        c == '\f') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      preprocessor_line();
+      return;
+    }
+    at_line_start_ = false;
+    if (c == '"') {
+      string_literal();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      number();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const int line = line_;
+    advance();
+    advance();  // "//"
+    std::string text;
+    while (pos_ < text_.size() && peek() != '\n') text += advance();
+    out_.comments.push_back(CommentText{std::move(text), line});
+  }
+
+  void block_comment() {
+    const int line = line_;
+    advance();
+    advance();  // "/*"
+    std::string text;
+    while (pos_ < text_.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      text += advance();
+    }
+    out_.comments.push_back(CommentText{std::move(text), line});
+  }
+
+  // Consumes a whole preprocessor line (honoring backslash continuations
+  // and embedded comments) and records #include directives. The directive's
+  // tokens deliberately do not reach the main stream: macro bodies are out
+  // of scope for the lint heuristics.
+  void preprocessor_line() {
+    const int line = line_;
+    advance();  // '#'
+    std::string body;
+    while (pos_ < text_.size()) {
+      if (peek() == '\\' && (peek(1) == '\n' ||
+                             (peek(1) == '\r' && peek(2) == '\n'))) {
+        advance();           // backslash
+        if (peek() == '\r') advance();
+        advance();           // newline (continuation)
+        body += ' ';
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        block_comment();
+        body += ' ';
+        continue;
+      }
+      if (peek() == '\n') {
+        advance();
+        break;
+      }
+      body += advance();
+    }
+    record_include(body, line);
+    at_line_start_ = true;
+  }
+
+  void record_include(const std::string& body, int line) {
+    std::size_t i = 0;
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i])))
+      ++i;
+    static const std::string kInclude = "include";
+    if (body.compare(i, kInclude.size(), kInclude) != 0) return;
+    i += kInclude.size();
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i])))
+      ++i;
+    if (i >= body.size()) return;
+    const char open = body[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;  // computed include (macro); out of scope
+    const std::size_t start = ++i;
+    const std::size_t end = body.find(close, start);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(
+        IncludeDirective{body.substr(start, end - start), open == '<', line});
+  }
+
+  void string_literal() {
+    const int line = line_;
+    // Raw string: the previous token must have been lexed as an identifier
+    // ending in R (R, u8R, LR, uR, UR) immediately adjacent to the quote.
+    if (!out_.tokens.empty()) {
+      const Token& prev = out_.tokens.back();
+      if (prev.kind == TokenKind::kIdentifier && !prev.text.empty() &&
+          prev.text.back() == 'R' && prev.text.size() <= 3 &&
+          pos_ > 0 && text_[pos_ - 1] == 'R') {
+        out_.tokens.pop_back();
+        raw_string_literal(line);
+        return;
+      }
+    }
+    advance();  // opening quote
+    std::string text;
+    while (pos_ < text_.size() && peek() != '"' && peek() != '\n') {
+      if (peek() == '\\' && pos_ + 1 < text_.size()) text += advance();
+      text += advance();
+    }
+    if (peek() == '"') advance();
+    push(TokenKind::kString, std::move(text), line);
+  }
+
+  void raw_string_literal(int line) {
+    advance();  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && peek() != '(') delim += advance();
+    if (peek() == '(') advance();
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < text_.size()) {
+      if (text_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t j = 0; j < closer.size(); ++j) advance();
+        break;
+      }
+      text += advance();
+    }
+    push(TokenKind::kString, std::move(text), line);
+  }
+
+  void char_literal() {
+    const int line = line_;
+    advance();  // opening quote
+    std::string text;
+    while (pos_ < text_.size() && peek() != '\'' && peek() != '\n') {
+      if (peek() == '\\' && pos_ + 1 < text_.size()) text += advance();
+      text += advance();
+    }
+    if (peek() == '\'') advance();
+    push(TokenKind::kChar, std::move(text), line);
+  }
+
+  void number() {
+    const int line = line_;
+    std::string text;
+    text += advance();
+    while (pos_ < text_.size()) {
+      const char c = peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        text += advance();
+        const bool hex =
+            text.size() > 1 && text[0] == '0' &&
+            (text[1] == 'x' || text[1] == 'X');
+        // Exponent signs: 1e-3 (decimal e/E), 0x1p+4 (hex p/P only -- an
+        // 'e' in a hex literal is a digit, not an exponent).
+        const bool exponent =
+            hex ? (c == 'p' || c == 'P') : (c == 'e' || c == 'E');
+        if (exponent && (peek() == '+' || peek() == '-')) text += advance();
+      } else {
+        break;
+      }
+    }
+    push(TokenKind::kNumber, std::move(text), line);
+  }
+
+  void identifier() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < text_.size() && ident_char(peek())) text += advance();
+    push(TokenKind::kIdentifier, std::move(text), line);
+  }
+
+  void punct() {
+    const int line = line_;
+    if (peek() == ':' && peek(1) == ':') {
+      advance();
+      advance();
+      push(TokenKind::kPunct, "::", line);
+      return;
+    }
+    std::string text(1, advance());
+    push(TokenKind::kPunct, std::move(text), line);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream tokenize(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace dyndisp::lint

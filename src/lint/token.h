@@ -1,0 +1,57 @@
+// A lightweight C++ tokenizer for the dyndisp_lint static-analysis pass.
+//
+// This is not a compiler front end: it produces a flat token stream with
+// line numbers, plus the two side channels the lint rules need -- comments
+// (for `NOLINT-dyndisp` suppressions) and `#include` directives (for the
+// include-cycle rule). It understands exactly enough C++ lexing to never
+// misread source as code: line/block comments, string/char literals
+// (including raw strings), digit separators, and preprocessor lines with
+// backslash continuations are all consumed correctly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dyndisp::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (rules match on text)
+  kNumber,
+  kString,  ///< string literal, text excludes the quotes
+  kChar,    ///< character literal
+  kPunct,   ///< single punctuation char, except "::" which is one token
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// A comment with its delimiters stripped. Block comments keep interior
+/// newlines; `line` is where the comment starts.
+struct CommentText {
+  std::string text;
+  int line = 0;
+};
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string path;
+  bool angled = false;  ///< <...> rather than "..."
+  int line = 0;
+};
+
+/// The full lexing result for one translation unit.
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<CommentText> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Lexes `text`. Never throws on malformed input: an unterminated literal
+/// or comment simply ends at end-of-file (lint must not die on the code it
+/// is criticizing).
+TokenStream tokenize(const std::string& text);
+
+}  // namespace dyndisp::lint

@@ -13,7 +13,7 @@
 namespace dyndisp {
 
 /// Number of bits needed to represent values in [0, n); ceil(log2(n)), >= 1.
-unsigned bit_width_for(std::uint64_t n);
+[[nodiscard]] unsigned bit_width_for(std::uint64_t n);
 
 /// Append-only bit sink.
 class BitWriter {
@@ -25,10 +25,10 @@ class BitWriter {
   void write_bool(bool b) { write(b ? 1 : 0, 1); }
 
   /// Total bits written so far.
-  std::size_t bit_count() const { return bit_count_; }
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
 
   /// Packed payload (last byte zero-padded).
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
  private:
   std::vector<std::uint8_t> bytes_;
@@ -47,12 +47,12 @@ class BitReader {
       : bytes_(bytes), bit_count_(bytes.size() * 8) {}
 
   /// Reads `bits` bits written most-significant first.
-  std::uint64_t read(unsigned bits);
+  [[nodiscard]] std::uint64_t read(unsigned bits);
 
-  bool read_bool() { return read(1) != 0; }
+  [[nodiscard]] bool read_bool() { return read(1) != 0; }
 
   /// Bits remaining.
-  std::size_t remaining() const { return bit_count_ - cursor_; }
+  [[nodiscard]] std::size_t remaining() const { return bit_count_ - cursor_; }
 
  private:
   const std::vector<std::uint8_t>& bytes_;

@@ -19,7 +19,7 @@
 namespace dyndisp {
 
 /// Escapes a string for embedding in a JSON document (without quotes).
-std::string json_escape(const std::string& s);
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 /// An immutable parsed JSON document node. Object member order is preserved
 /// so iteration (and anything derived from it, e.g. campaign job expansion)
@@ -30,7 +30,7 @@ class JsonValue {
 
   /// Parses a complete JSON document; trailing non-whitespace is an error.
   /// Throws std::invalid_argument with "line L col C" context on failure.
-  static JsonValue parse(const std::string& text);
+  [[nodiscard]] static JsonValue parse(const std::string& text);
 
   JsonValue() : type_(Type::kNull) {}
 
@@ -43,19 +43,19 @@ class JsonValue {
   bool is_object() const { return type_ == Type::kObject; }
 
   /// Typed accessors; throw std::invalid_argument on a type mismatch.
-  bool as_bool() const;
-  double as_number() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
   /// The number as a non-negative integer. Plain integer tokens are
   /// reparsed from their raw text, so the full uint64 range round-trips
   /// losslessly; fractions, negatives, and values a double cannot represent
   /// exactly are rejected.
-  std::uint64_t as_uint() const;
-  const std::string& as_string() const;
-  const std::vector<JsonValue>& items() const;
-  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
 
   /// Object member lookup; null when absent or when this is not an object.
-  const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
 
  private:
   friend class JsonParser;

@@ -1,0 +1,32 @@
+// Negative fixture: production-shaped code with zero hazards; dyndisp_lint
+// must exit 0 with zero suppressions used. NOT part of the build; linted
+// explicitly by tests.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace clean_fixture {
+
+// Ordered iteration: deterministic by construction.
+inline int sum(const std::map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+// Every persistent field routed through the serializer.
+class MeteredRobot {
+ public:
+  void serialize(dyndisp::BitWriter& out) const {
+    out.write(id_, 8);
+    out.write_bool(settled_);
+  }
+
+ private:
+  unsigned id_ = 0;
+  bool settled_ = false;
+};
+
+}  // namespace clean_fixture

@@ -1,0 +1,12 @@
+// Planted violation: a suppression without a justification must (a) fail
+// to suppress the underlying finding and (b) be reported by
+// suppression-contract itself. NOT part of the build; linted explicitly by
+// tests.
+#include <cstdlib>
+
+// NOLINTNEXTLINE-dyndisp(determinism-random)
+int planted_bare() { return std::rand(); }
+
+int planted_trailing() {
+  return std::rand();  // NOLINT-dyndisp(determinism-random)
+}

@@ -1,0 +1,8 @@
+// Planted violation (with planted_cycle_b.h): hygiene-include-cycle must
+// report the a -> b -> a cycle. NOT part of the build; linted explicitly
+// by tests.
+#pragma once
+
+#include "planted_cycle_b.h"
+
+struct PlantedCycleA {};

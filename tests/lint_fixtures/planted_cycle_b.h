@@ -1,0 +1,6 @@
+// The other half of the planted include cycle; see planted_cycle_a.h.
+#pragma once
+
+#include "planted_cycle_a.h"
+
+struct PlantedCycleB {};

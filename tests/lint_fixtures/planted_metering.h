@@ -1,0 +1,23 @@
+// Planted violation: metering-serialize-fields must flag hoarded_ -- a
+// between-round member that never reaches serialize(BitWriter&), i.e.
+// persistent memory the Lemma 8 meter would undercount. NOT part of the
+// build; linted explicitly by tests.
+#pragma once
+
+#include "util/bits.h"
+
+namespace planted {
+
+class HoardingRobot {
+ public:
+  void serialize(dyndisp::BitWriter& out) const {
+    out.write(id_, bits_for_id_);
+  }
+
+ private:
+  unsigned id_ = 0;
+  unsigned bits_for_id_ = 8;
+  unsigned hoarded_ = 0;  // violation: persistent but unmetered
+};
+
+}  // namespace planted

@@ -1,0 +1,18 @@
+// Planted violation: determinism-random must flag every non-deterministic
+// randomness source in this file. NOT part of the build; linted explicitly
+// by tests (the driver skips lint_fixtures/ during tree scans).
+#include <cstdlib>
+#include <random>
+
+int planted_rand() {
+  return std::rand();  // violation: std::rand
+}
+
+unsigned planted_device() {
+  std::random_device rd;  // violation: std::random_device
+  return rd();
+}
+
+void planted_srand(unsigned seed) {
+  srand(seed);  // violation: srand
+}

@@ -1,0 +1,22 @@
+// Planted violation: determinism-unordered-iter must flag both the
+// range-for and the explicit begin() walk; the membership probe must NOT
+// be flagged. NOT part of the build; linted explicitly by tests.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int planted_range_for(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;  // violation
+  return total;
+}
+
+std::size_t planted_begin(const std::unordered_set<int>& seen) {
+  std::size_t walked = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) ++walked;  // violation
+  return walked;
+}
+
+bool membership_is_fine(const std::unordered_set<int>& seen, int id) {
+  return seen.count(id) != 0;  // no violation: order-free probe
+}

@@ -1,0 +1,13 @@
+// Planted violation: determinism-wallclock must flag both the chrono and
+// the C clock reads (this fixture is not under bench/, so no allowlist
+// applies). NOT part of the build; linted explicitly by tests.
+#include <chrono>
+#include <ctime>
+
+double planted_chrono_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long planted_c_time() {
+  return time(nullptr);  // violation: C time API
+}

@@ -1,0 +1,20 @@
+// Negative fixture: every hazard here carries a justified suppression, so
+// dyndisp_lint must exit 0 on this file. NOT part of the build; linted
+// explicitly by tests.
+#include <chrono>
+#include <cstdlib>
+
+// NOLINTNEXTLINE-dyndisp(determinism-random): fixture proving a justified
+// suppression (with a wrapped, multi-line justification) silences the
+// finding on the next code line.
+int suppressed_rand() { return std::rand(); }
+
+double suppressed_clock() {
+  // NOLINTNEXTLINE-dyndisp(determinism-wallclock): fixture timer; the
+  // value is discarded by the caller.
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long suppressed_trailing() {
+  return time(nullptr);  // NOLINT-dyndisp(determinism-wallclock): fixture
+}

@@ -89,16 +89,18 @@ TEST(JsonReader, LargeIntegersRoundTripLosslessly) {
             9007199254740993ull);  // 2^53 + 1, not representable as double
   EXPECT_EQ(JsonValue::parse("18446744073709551615").as_uint(),
             18446744073709551615ull);  // UINT64_MAX
-  EXPECT_THROW(JsonValue::parse("18446744073709551616").as_uint(),
+  EXPECT_THROW((void)JsonValue::parse("18446744073709551616").as_uint(),
                std::invalid_argument);  // overflows uint64
 }
 
 TEST(JsonReader, RejectsTypeMismatch) {
   const JsonValue v = JsonValue::parse("[1, -2]");
-  EXPECT_THROW(v.as_string(), std::invalid_argument);
-  EXPECT_THROW(v.members(), std::invalid_argument);
-  EXPECT_THROW(v.items()[1].as_uint(), std::invalid_argument);  // negative
-  EXPECT_THROW(JsonValue::parse("1.5").as_uint(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)v.members(), std::invalid_argument);
+  EXPECT_THROW((void)v.items()[1].as_uint(),
+               std::invalid_argument);  // negative
+  EXPECT_THROW((void)JsonValue::parse("1.5").as_uint(),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

@@ -41,10 +41,18 @@ class ScriptedRobot final : public RobotAlgorithm {
   Port last_arrival() const { return last_arrival_; }
 
  private:
+  // NOLINTNEXTLINE-dyndisp(metering-serialize-fields): test probe identity,
+  // fixed at construction; the metered state is only the cursor.
   RobotId id_;
+  // NOLINTNEXTLINE-dyndisp(metering-serialize-fields): the immutable test
+  // script (program, not state); the cursor next_ is what is metered.
   std::vector<Port> moves_;
   std::size_t next_ = 0;
+  // NOLINTNEXTLINE-dyndisp(metering-serialize-fields): engine-observation
+  // scratch read back by assertions, not robot memory.
   std::size_t last_view_degree_ = 0;
+  // NOLINTNEXTLINE-dyndisp(metering-serialize-fields): engine-observation
+  // scratch read back by assertions, not robot memory.
   Port last_arrival_ = kInvalidPort;
 };
 

@@ -1,0 +1,122 @@
+// dyndisp_lint -- the project-specific static-analysis pass.
+//
+// Scans C++ sources with a lightweight tokenizer and runs the registered
+// determinism/metering/hygiene rules (dyndisp_lint --list). The repo's
+// runtime oracles (src/check/) catch determinism violations by sampling
+// executions; this tool rejects the hazard classes at lint time, before
+// they can reach an execution.
+//
+//   dyndisp_lint --all src tests tools         # the CI tree gate
+//   dyndisp_lint --rule determinism-random src
+//   dyndisp_lint --self-check                  # planted-violation proof
+//   dyndisp_lint --list
+//
+// exit codes: 0 clean; 1 findings; 2 usage/IO error.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.h"
+#include "lint/registry.h"
+#include "lint/selfcheck.h"
+
+namespace {
+
+using namespace dyndisp::lint;
+
+constexpr const char* kUsage = R"(dyndisp_lint -- determinism/metering/hygiene static analysis
+
+usage: dyndisp_lint [options] [paths...]
+  paths                files or directories (default: src tests tools);
+                       directories are walked recursively for
+                       .h/.hpp/.cpp/.cc in sorted order
+  --all                run every registered rule (the default)
+  --rule NAME          run only NAME (repeatable)
+  --list               list the registered rules and exit
+  --self-check         run the embedded planted-violation self-test: every
+                       rule must catch its planted bug, stay silent on the
+                       clean twin, and honor the suppression contract
+  --quiet              print only the summary line
+  --help               this text
+
+suppressions:
+  code;  // NOLINT-dyndisp(rule-name): justification
+  // NOLINTNEXTLINE-dyndisp(rule-name): justification
+The justification is mandatory; a bare NOLINT-dyndisp suppresses nothing
+and is itself a finding (suppression-contract).
+
+exit codes: 0 clean; 1 findings; 2 usage/IO error.
+)";
+
+int run(int argc, char** argv) {
+  LintOptions options;
+  bool quiet = false;
+  bool self_check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--list") {
+      for (const std::string& name : LintRegistry::instance().names())
+        std::printf("%-28s %s\n", name.c_str(),
+                    LintRegistry::instance().description(name).c_str());
+      return 0;
+    } else if (arg == "--all") {
+      options.rules.clear();
+    } else if (arg == "--rule") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--rule needs a name (see --list)\n");
+        return 2;
+      }
+      options.rules.push_back(argv[++i]);
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  // Validate rule names up front so a typo fails loudly.
+  for (const std::string& name : options.rules)
+    (void)LintRegistry::instance().make(name);
+
+  if (self_check) {
+    const SelfCheckResult result = run_self_check();
+    if (!quiet || !result.ok) std::fputs(result.detail.c_str(), stdout);
+    std::printf("dyndisp_lint --self-check: %s\n",
+                result.ok ? "all rules proven" : "FAILED");
+    return result.ok ? 0 : 1;
+  }
+
+  if (options.paths.empty()) options.paths = {"src", "tests", "tools"};
+
+  const LintReport report = lint_paths(options);
+  if (quiet) {
+    std::printf("dyndisp_lint: %zu file(s), %zu finding(s), %zu suppressed\n",
+                report.files_scanned, report.diagnostics.size(),
+                report.suppressed);
+  } else {
+    print_report(report, std::cout);
+  }
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dyndisp_lint: %s\n", e.what());
+    return 2;
+  }
+}
