@@ -1,25 +1,41 @@
 // Round-time perf harness: wall-clock cost of simulating Algorithm 4 per
-// robot-round, across adversaries, scales, and compute-phase thread counts.
-// Unlike the theorem benches this one makes no claim about the paper -- it
-// tracks the ENGINE, so perf regressions in the round hot path (packet
-// assembly, state serialization, planning) show up as a number a CI job or
-// a human can diff across commits. `--json` writes BENCH_roundtime.json, a
+// robot-round, across adversaries, scales, compute-phase thread counts, and
+// the delta-aware structure cache (on vs off). Unlike the theorem benches
+// this one makes no claim about the paper -- it tracks the ENGINE, so perf
+// regressions in the round hot path (packet assembly, state serialization,
+// planning, cross-round reuse) show up as a number a CI job or a human can
+// diff across commits. `--json` writes BENCH_roundtime.json, a
 // machine-readable sibling of the ASCII table (schema in README.md).
 //
+// The adversary set spans the reuse spectrum: `random` / `star-star` /
+// `ring-worst` rewire every round (the cache can at best break even there),
+// while `static`, `t-interval`, and `scripted` replay graphs across rounds,
+// which is where the delta-aware loop earns its keep.
+//
 //   bench_roundtime [--json] [--out=FILE] [--threads=1,8] [--reps=N]
+//                   [--smoke] [--validate=FILE]
+//
+// `--smoke` shrinks the sweep to one tiny size per adversary (CI-friendly:
+// seconds, not minutes). `--validate=FILE` parses a previously written JSON
+// file, checks it against schema v2 (field presence/types, cache on/off
+// pairing, reuse counters nonzero on the replay-heavy rows), and exits --
+// no timing assertions, so it is safe on loaded CI machines.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "campaign/registry.h"
 #include "core/dispersion.h"
 #include "dynamic/random_adversary.h"
-#include "dynamic/ring_adversary.h"
-#include "dynamic/star_star_adversary.h"
-#include "robots/placement.h"
+#include "dynamic/scripted_adversary.h"
+#include "dynamic/t_interval_adversary.h"
+#include "robots/configuration.h"
 #include "sim/engine.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -29,44 +45,86 @@ namespace {
 
 using namespace dyndisp;
 
+constexpr std::uint64_t kSchemaVersion = 2;
+constexpr std::uint64_t kSeed = 11;
+
 struct Row {
   std::string adversary;
   std::size_t k = 0;
   std::size_t n = 0;
   std::size_t threads = 1;
+  bool structure_cache = true;
   Round rounds = 0;
   bool dispersed = false;
   std::uint64_t robot_rounds = 0;
   double wall_ms = 0;
   double robot_rounds_per_sec = 0;
   double packet_mbits = 0;
+  RoundLoopStats stats;
+};
+
+/// One bench row family: which adversary, how robots are placed, and how the
+/// node count scales with k. The replay-heavy rows use a rooted start on
+/// n = 3k: the run takes many rounds, most robots settle early and stay put,
+/// and only the moving frontier dirties nodes -- the regime the delta
+/// broadcast and structure cache target.
+struct AdversarySpec {
+  const char* name;       // registry adversary name, or "scripted"
+  const char* placement;  // registry placement name
+  std::size_t n_num, n_den;  // n = k * n_num / n_den
+  bool reuse_heavy;       // replays graphs; cache counters must be nonzero
+};
+
+constexpr AdversarySpec kSpecs[] = {
+    {"random", "rooted", 3, 2, false},
+    {"star-star", "rooted", 3, 2, false},
+    {"ring-worst", "rooted", 3, 2, false},
+    {"static", "rooted", 3, 1, true},
+    {"t-interval", "rooted", 3, 1, true},
+    {"scripted", "rooted", 3, 1, true},
 };
 
 std::unique_ptr<Adversary> make_adversary(const std::string& name,
                                           std::size_t n) {
-  if (name == "random") return std::make_unique<RandomAdversary>(n, n / 3, 11);
-  if (name == "star-star") return std::make_unique<StarStarAdversary>(n);
-  if (name == "ring")
-    return std::make_unique<RingAdversary>(n, RingAdversary::Strategy::kWorstEdge);
-  throw std::invalid_argument("unknown adversary: " + name);
+  const campaign::Registry& registry = campaign::Registry::instance();
+  if (name == "scripted") {
+    // A three-line script, then the repeat-last horizon: rounds 0..2 churn,
+    // everything after round 2 replays script.back() forever.
+    std::vector<Graph> script;
+    for (std::uint64_t s = 1; s <= 3; ++s)
+      script.push_back(registry.family("random", n, kSeed + s));
+    return std::make_unique<ScriptedAdversary>(std::move(script));
+  }
+  if (name == "t-interval") {
+    // Wider window than the registry's T=4: with T=8, 7 of every 8 rounds
+    // replay the window's graph, which is the regime this row measures.
+    return std::make_unique<TIntervalAdversary>(
+        std::make_unique<RandomAdversary>(n, n / 4, kSeed), 8);
+  }
+  return registry.adversary(name, "random", n, kSeed);
 }
 
-Row run(const std::string& adversary, std::size_t k, std::size_t threads,
-        std::size_t reps) {
-  const std::size_t n = k + k / 2;
+Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
+        bool structure_cache, std::size_t reps) {
   Row row;
-  row.adversary = adversary;
+  row.adversary = spec.name;
   row.k = k;
-  row.n = n;
   row.threads = threads;
+  row.structure_cache = structure_cache;
   // Median-free but repeatable: take the best of `reps` runs so a one-off
   // scheduler hiccup does not masquerade as a regression.
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    auto adv = make_adversary(adversary, n);
+    auto adv = make_adversary(spec.name, k * spec.n_num / spec.n_den);
+    // Families may round the requested size; place on the graph's actual n.
+    const std::size_t n = adv->node_count();
+    Configuration initial =
+        campaign::Registry::instance().placement(spec.placement, n, k,
+                                                 /*groups=*/3, kSeed);
     EngineOptions opt;
     opt.max_rounds = 10 * k;
     opt.threads = threads;
-    Engine engine(*adv, placement::rooted(n, k),
+    opt.structure_cache = structure_cache;
+    Engine engine(*adv, std::move(initial),
                   core::dispersion_factory_memoized(), opt);
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = engine.run();
@@ -74,10 +132,12 @@ Row run(const std::string& adversary, std::size_t k, std::size_t threads,
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < row.wall_ms) row.wall_ms = ms;
+    row.n = n;
     row.rounds = r.rounds;
     row.dispersed = r.dispersed;
     row.robot_rounds = static_cast<std::uint64_t>(r.rounds) * k;
     row.packet_mbits = static_cast<double>(r.packet_bits_sent) / 1e6;
+    row.stats = r.stats;  // identical every rep (deterministic loop)
   }
   row.robot_rounds_per_sec =
       row.wall_ms > 0 ? 1000.0 * static_cast<double>(row.robot_rounds) /
@@ -113,7 +173,7 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
   JsonWriter w(out);
   w.begin_object();
   w.member("bench", "roundtime");
-  w.member("schema_version", std::uint64_t{1});
+  w.member("schema_version", kSchemaVersion);
   w.key("results");
   w.begin_array();
   for (const Row& r : rows) {
@@ -122,12 +182,26 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
     w.member("k", static_cast<std::uint64_t>(r.k));
     w.member("n", static_cast<std::uint64_t>(r.n));
     w.member("threads", static_cast<std::uint64_t>(r.threads));
+    w.member("structure_cache", r.structure_cache);
     w.member("rounds", static_cast<std::uint64_t>(r.rounds));
     w.member("dispersed", r.dispersed);
     w.member("robot_rounds", r.robot_rounds);
     w.member("wall_ms", r.wall_ms);
     w.member("robot_rounds_per_sec", r.robot_rounds_per_sec);
     w.member("packet_mbits", r.packet_mbits);
+    w.member("graph_reuses", static_cast<std::uint64_t>(r.stats.graph_reuses));
+    w.member("validations_skipped",
+             static_cast<std::uint64_t>(r.stats.validations_skipped));
+    w.member("broadcasts_reused",
+             static_cast<std::uint64_t>(r.stats.broadcasts_reused));
+    w.member("broadcast_deltas",
+             static_cast<std::uint64_t>(r.stats.broadcast_deltas));
+    w.member("packets_copied",
+             static_cast<std::uint64_t>(r.stats.packets_copied));
+    w.member("packets_rebuilt",
+             static_cast<std::uint64_t>(r.stats.packets_rebuilt));
+    w.member("sc_exact_hits", r.stats.sc_exact_hits);
+    w.member("sc_components_reused", r.stats.sc_components_reused);
     w.end_object();
   }
   w.end_array();
@@ -135,36 +209,132 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
   out << '\n';
 }
 
+// ---- --validate=FILE: schema v2 checks, no timing assertions ----
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("validate: " + what);
+}
+
+const JsonValue& req(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail("missing key '" + key + "'");
+  return *v;
+}
+
+int validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+
+  if (req(doc, "bench").as_string() != "roundtime")
+    fail("'bench' is not \"roundtime\"");
+  if (req(doc, "schema_version").as_uint() != kSchemaVersion)
+    fail("'schema_version' is not " + std::to_string(kSchemaVersion));
+  const std::vector<JsonValue>& rows = req(doc, "results").items();
+  if (rows.empty()) fail("'results' is empty");
+
+  static const char* const kUints[] = {
+      "k", "n", "threads", "rounds", "robot_rounds",
+      "graph_reuses", "validations_skipped", "broadcasts_reused",
+      "broadcast_deltas", "packets_copied", "packets_rebuilt",
+      "sc_exact_hits", "sc_components_reused"};
+  static const char* const kNumbers[] = {"wall_ms", "robot_rounds_per_sec",
+                                         "packet_mbits"};
+  // (adversary, k, threads) -> bitmask of cache settings seen (1 = off,
+  // 2 = on); every tuple must appear with the cache both on and off.
+  std::map<std::string, unsigned> cache_sides;
+  for (const JsonValue& row : rows) {
+    const std::string adversary = req(row, "adversary").as_string();
+    for (const char* key : kUints) (void)req(row, key).as_uint();
+    for (const char* key : kNumbers) (void)req(row, key).as_number();
+    (void)req(row, "dispersed").as_bool();
+    const bool cache = req(row, "structure_cache").as_bool();
+    const std::string tuple = adversary + "/k=" +
+                              std::to_string(req(row, "k").as_uint()) +
+                              "/t=" +
+                              std::to_string(req(row, "threads").as_uint());
+    cache_sides[tuple] |= cache ? 2u : 1u;
+    if (!cache) {
+      // The rebuild-everything loop must not report reuse it cannot perform.
+      for (const char* key : {"graph_reuses", "broadcasts_reused",
+                              "broadcast_deltas", "sc_exact_hits"}) {
+        if (req(row, key).as_uint() != 0)
+          fail(tuple + ": cache-off row has nonzero " + key);
+      }
+      continue;
+    }
+    for (const AdversarySpec& spec : kSpecs) {
+      if (!spec.reuse_heavy || adversary != spec.name) continue;
+      // Replay-heavy adversary with the cache on: the hint path and the
+      // broadcast reuse/delta path must both have fired.
+      if (req(row, "graph_reuses").as_uint() == 0)
+        fail(tuple + ": reuse-heavy row has graph_reuses == 0");
+      if (req(row, "broadcasts_reused").as_uint() +
+              req(row, "broadcast_deltas").as_uint() ==
+          0)
+        fail(tuple + ": reuse-heavy row reused no broadcasts");
+    }
+  }
+  for (const auto& [tuple, sides] : cache_sides) {
+    if (sides != 3u)
+      fail(tuple + ": missing its cache-" +
+           (sides == 1u ? std::string("on") : std::string("off")) + " row");
+  }
+  std::printf("validate: %s ok (%zu rows, schema v%llu)\n", path.c_str(),
+              rows.size(),
+              static_cast<unsigned long long>(kSchemaVersion));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   CliArgs args(argc, argv);
+  const std::string validate_path = args.get("validate", "");
   const bool json = args.get_bool("json", false);
   const std::string out_path = args.get("out", "BENCH_roundtime.json");
   const std::vector<std::size_t> thread_counts =
       parse_threads(args.get("threads", "1,8"));
   const std::size_t reps = args.get_uint("reps", 1);
+  const bool smoke = args.get_bool("smoke", false);
   for (const std::string& key : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
     return 2;
   }
+  if (!validate_path.empty()) return validate(validate_path);
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16}
+            : std::vector<std::size_t>{64, 128, 256, 512};
 
   std::printf("== Round-time harness: engine wall-clock per robot-round ==\n");
   bool ok = true;
   std::vector<Row> rows;
-  for (const char* adversary : {"random", "star-star", "ring"}) {
-    AsciiTable table({"k", "threads", "rounds", "wall ms", "robot-rounds/s",
-                      "packet Mbits"});
-    table.set_title(adversary);
-    for (const std::size_t k : {64u, 128u, 256u, 512u}) {
+  for (const AdversarySpec& spec : kSpecs) {
+    AsciiTable table({"k", "threads", "cache", "rounds", "wall ms",
+                      "robot-rounds/s", "packet Mbits"});
+    table.set_title(spec.name);
+    for (const std::size_t k : sizes) {
       for (const std::size_t threads : thread_counts) {
-        const Row row = run(adversary, k, threads, reps);
-        ok &= row.dispersed;
-        rows.push_back(row);
-        table.add_row({std::to_string(row.k), std::to_string(row.threads),
-                       std::to_string(row.rounds), fmt_double(row.wall_ms, 1),
-                       fmt_double(row.robot_rounds_per_sec, 0),
-                       fmt_double(row.packet_mbits, 2)});
+        double off_rate = 0;
+        for (const bool cache : {false, true}) {
+          const Row row = run(spec, k, threads, cache, reps);
+          ok &= row.dispersed;
+          rows.push_back(row);
+          std::string rate = fmt_double(row.robot_rounds_per_sec, 0);
+          if (!cache) {
+            off_rate = row.robot_rounds_per_sec;
+          } else if (off_rate > 0) {
+            rate += " (" +
+                    fmt_double(row.robot_rounds_per_sec / off_rate, 2) + "x)";
+          }
+          table.add_row({std::to_string(row.k), std::to_string(row.threads),
+                         cache ? "on" : "off", std::to_string(row.rounds),
+                         fmt_double(row.wall_ms, 1), rate,
+                         fmt_double(row.packet_mbits, 2)});
+        }
       }
     }
     std::fputs(table.render().c_str(), stdout);

@@ -21,7 +21,10 @@ for b in build/bench/*; do
 done
 
 echo "===== build/bench/bench_roundtime --json =====" | tee -a bench_output.txt
-build/bench/bench_roundtime --json --out=BENCH_roundtime.json 2>&1 |
+# Best-of-5 wall times: single-rep rows at the small sizes are pure noise.
+build/bench/bench_roundtime --json --reps=5 --out=BENCH_roundtime.json 2>&1 |
+  tee -a bench_output.txt
+build/bench/bench_roundtime --validate=BENCH_roundtime.json 2>&1 |
   tee -a bench_output.txt
 
 # Smoke-mode Table-I campaign: 2 seeds per tuple through the declarative

@@ -33,6 +33,9 @@ TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
   c.groups = 1 + rng.below(std::min(c.k, c.n));
   c.faults =
       rng.chance(options.fault_probability) ? rng.below(c.k / 2 + 1) : 0;
+  // The delta-aware round loop is itself a fuzzed axis: half the trials run
+  // with it off, so oracle coverage spans both engine loops.
+  c.structure_cache = rng.below(2) == 0;
   return c;
 }
 
@@ -76,8 +79,17 @@ FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox) {
         violation = Violation{"differential-threads", out.result.rounds,
                               threads.detail};
         from_differential = true;
-      } else if (!toolbox.is_extension(config.algorithm) &&
-                 !toolbox.is_extension(config.adversary)) {
+      }
+      if (!violation) {
+        const DiffReport cache = diff_structure_cache(config, toolbox);
+        if (!cache.ok) {
+          violation = Violation{"differential-structure-cache",
+                                out.result.rounds, cache.detail};
+          from_differential = true;
+        }
+      }
+      if (!violation && !toolbox.is_extension(config.algorithm) &&
+          !toolbox.is_extension(config.adversary)) {
         const DiffReport construction = diff_construction(config);
         if (!construction.ok) {
           violation = Violation{"differential-construction",

@@ -28,14 +28,17 @@ bool paths_disjoint(const RootPath& a, const RootPath& b) {
 std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
                                      const SpanningTree& st) {
   std::vector<RootPath> kept;
-  std::set<RobotId> used;  // non-root nodes already claimed by a path
+  if (st.size() == 0) return kept;
+  // Non-root nodes already claimed by a path, flagged by name (tree names
+  // are robot IDs, so the flat array is at most k entries).
+  std::vector<char> used(st.nodes().back().name + 1, 0);
   for (const RobotId leaf : leaf_node_set(cg, st)) {
     RootPath path = st.root_path(leaf);
     const bool overlaps =
         std::any_of(path.begin() + 1, path.end(),
-                    [&](RobotId name) { return used.count(name) > 0; });
+                    [&](RobotId name) { return used[name] != 0; });
     if (overlaps) continue;
-    for (auto it = path.begin() + 1; it != path.end(); ++it) used.insert(*it);
+    for (auto it = path.begin() + 1; it != path.end(); ++it) used[*it] = 1;
     kept.push_back(std::move(path));
   }
   return kept;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/structure_cache.h"
 #include "util/bits.h"
 
 namespace dyndisp::core {
@@ -28,8 +29,11 @@ Port DispersionRobot::step(const RobotView& view) {
   if (cache_) {
     // Prefer the handle-keyed cache path: all robots of a round share one
     // broadcast handle, so the lookup is a pointer compare, not a deep one.
-    plan = view.shared_packets ? &cache_->get(view.shared_packets, config_)
-                               : &cache_->get(view.packets(), config_);
+    // The view's reuse hints ride along so a slot miss can consult the
+    // cross-round StructureCache (invalid hints degrade to plan_round).
+    plan = view.shared_packets
+               ? &cache_->get(view.shared_packets, view.reuse, config_)
+               : &cache_->get(view.packets(), config_);
   } else {
     local_plan = plan_round(view.packets(), config_);
     plan = &local_plan;
@@ -67,6 +71,10 @@ AlgorithmFactory dispersion_factory() {
 
 AlgorithmFactory dispersion_factory_memoized() {
   auto cache = std::make_shared<PlanCache>();
+  // The cross-round StructureCache is attached unconditionally; it is only
+  // consulted when the engine hands out valid reuse hints (structure_cache
+  // engine option), so attaching it never changes uncached runs.
+  cache->set_structure_cache(std::make_shared<StructureCache>());
   return [cache](RobotId id, std::size_t k) {
     return std::make_unique<DispersionRobot>(id, k, cache);
   };
@@ -75,6 +83,7 @@ AlgorithmFactory dispersion_factory_memoized() {
 AlgorithmFactory dispersion_factory_with_config(PlannerConfig config,
                                                 bool memoized) {
   auto cache = memoized ? std::make_shared<PlanCache>() : nullptr;
+  if (cache) cache->set_structure_cache(std::make_shared<StructureCache>());
   return [cache, config](RobotId id, std::size_t k) {
     return std::make_unique<DispersionRobot>(id, k, cache, config);
   };

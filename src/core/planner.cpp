@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/structure_cache.h"
+
 namespace dyndisp::core {
 
 bool SlidePlan::operator==(const SlidePlan& other) const {
@@ -93,33 +95,49 @@ SlidePlan plan_round(const std::vector<InfoPacket>& packets,
 const SlidePlan& PlanCache::get_locked(
     const std::vector<InfoPacket>& packets,
     const std::shared_ptr<const std::vector<InfoPacket>>& handle,
-    const PlannerConfig& config) {
+    const ReuseHints* hints, const PlannerConfig& config) {
   if (valid_ && config_ == config &&
       ((handle && key_handle_ == handle) || key_ == packets)) {
     if (handle) key_handle_ = handle;  // adopt for future pointer hits
     ++hits_;
-    return value_;
+    return *value_;
   }
   ++misses_;
   key_ = packets;
   key_handle_ = handle;
   config_ = config;
-  value_ = plan_round(packets, config);
+  if (structure_ && hints != nullptr && hints->valid && handle) {
+    value_ = structure_->plan(handle, *hints, config);
+  } else {
+    value_ = std::make_shared<const SlidePlan>(plan_round(packets, config));
+  }
   valid_ = true;
-  return value_;
+  return *value_;
 }
 
 const SlidePlan& PlanCache::get(const std::vector<InfoPacket>& packets,
                                 const PlannerConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
-  return get_locked(packets, nullptr, config);
+  return get_locked(packets, nullptr, nullptr, config);
 }
 
 const SlidePlan& PlanCache::get(
     const std::shared_ptr<const std::vector<InfoPacket>>& packets,
     const PlannerConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
-  return get_locked(*packets, packets, config);
+  return get_locked(*packets, packets, nullptr, config);
+}
+
+const SlidePlan& PlanCache::get(
+    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
+    const ReuseHints& hints, const PlannerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_locked(*packets, packets, &hints, config);
+}
+
+void PlanCache::set_structure_cache(std::shared_ptr<StructureCache> cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  structure_ = std::move(cache);
 }
 
 std::size_t PlanCache::hits() const {

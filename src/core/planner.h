@@ -23,9 +23,12 @@
 #include "core/disjoint_paths.h"
 #include "core/spanning_tree.h"
 #include "sim/info_packet.h"
+#include "sim/reuse_hints.h"
 #include "util/types.h"
 
 namespace dyndisp::core {
+
+class StructureCache;
 
 /// What one designated mover robot does this round.
 struct MoveDirective {
@@ -102,6 +105,23 @@ class PlanCache {
       const std::shared_ptr<const std::vector<InfoPacket>>& packets,
       const PlannerConfig& config = {});
 
+  /// Hint-carrying fast path: on a slot miss with VALID hints and an
+  /// attached StructureCache, the plan is obtained from the cross-round
+  /// cache (exact hit or delta rebuild) instead of plan_round. With invalid
+  /// hints or no StructureCache this overload is byte-for-byte the plain
+  /// handle overload -- which is how --no-structure-cache reproduces the
+  /// baseline exactly.
+  const SlidePlan& get(
+      const std::shared_ptr<const std::vector<InfoPacket>>& packets,
+      const ReuseHints& hints, const PlannerConfig& config = {});
+
+  /// Attaches the cross-round structure cache consulted by the hint-carrying
+  /// get() overload. Null detaches (hints are then ignored).
+  void set_structure_cache(std::shared_ptr<StructureCache> cache);
+  const std::shared_ptr<StructureCache>& structure_cache() const {
+    return structure_;
+  }
+
   std::size_t hits() const;
   std::size_t misses() const;
 
@@ -109,13 +129,16 @@ class PlanCache {
   const SlidePlan& get_locked(
       const std::vector<InfoPacket>& packets,
       const std::shared_ptr<const std::vector<InfoPacket>>& handle,
-      const PlannerConfig& config);
+      const ReuseHints* hints, const PlannerConfig& config);
 
   mutable std::mutex mu_;
+  std::shared_ptr<StructureCache> structure_;
   std::shared_ptr<const std::vector<InfoPacket>> key_handle_;
   std::vector<InfoPacket> key_;
   PlannerConfig config_;
-  SlidePlan value_;
+  /// Immutable so StructureCache-produced plans are shared, not copied; the
+  /// slot repoints on every miss while old plans stay alive for borrowers.
+  std::shared_ptr<const SlidePlan> value_;
   bool valid_ = false;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

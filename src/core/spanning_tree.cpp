@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <cstdint>
 #include <queue>
 
 namespace dyndisp::core {
@@ -15,16 +15,16 @@ const TreeNode* SpanningTree::find(RobotId name) const {
 }
 
 std::vector<RobotId> SpanningTree::root_path(RobotId name) const {
-  std::vector<RobotId> path;
   const TreeNode* node = find(name);
   assert(node != nullptr && "root_path of a node outside the tree");
-  while (true) {
-    path.push_back(node->name);
-    if (node->parent == kNoRobot) break;
-    node = find(node->parent);
-    assert(node != nullptr);
+  // depth hops to the root: size the path once and fill it back-to-front.
+  std::vector<RobotId> path(node->depth + 1);
+  for (std::size_t i = node->depth + 1; i-- > 0;) {
+    path[i] = node->name;
+    if (node->parent != kNoRobot)
+      node = &nodes_[parent_idx_[static_cast<std::size_t>(node - nodes_.data())]];
   }
-  std::reverse(path.begin(), path.end());  // root first
+  assert(path.front() == root_);
   return path;
 }
 
@@ -33,6 +33,13 @@ void SpanningTree::add_node(TreeNode node) { nodes_.push_back(std::move(node)); 
 void SpanningTree::seal() {
   std::sort(nodes_.begin(), nodes_.end(),
             [](const TreeNode& a, const TreeNode& b) { return a.name < b.name; });
+  parent_idx_.assign(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == kNoRobot) continue;
+    const TreeNode* parent = find(nodes_[i].parent);
+    assert(parent != nullptr && "tree parent missing from the node set");
+    parent_idx_[i] = static_cast<std::uint32_t>(parent - nodes_.data());
+  }
 }
 
 SpanningTree build_spanning_tree(const ComponentGraph& cg) {
@@ -45,58 +52,69 @@ SpanningTree build_spanning_tree(const ComponentGraph& cg) {
 
   // Iterative DFS per the pseudocode: push the neighbors in decreasing port
   // order so the smallest port is explored first; connect each node to the
-  // node from which it was (first) discovered.
+  // node from which it was (first) discovered. cg.nodes() is ascending by
+  // name and ComponentGraph::find returns a pointer into it, so `cn - base`
+  // is a stable dense index -- the builder works on flat arrays and resolves
+  // each name exactly once, when its edge is pushed.
+  const ComponentNode* const base = cg.nodes().data();
+  std::vector<TreeNode> tree(cg.size());
+  std::vector<char> present(cg.size(), 0);
+
   struct PendingVisit {
-    RobotId name;
-    RobotId from;
-    Port port_at_from;  // port of `from` leading to `name`
+    std::uint32_t idx;       // dense index of the node to visit
+    std::uint32_t from_idx;  // dense index of the discovering node
+    Port port_at_from;       // port of `from` leading to the node
   };
   std::vector<PendingVisit> stack;
-  std::map<RobotId, TreeNode> in_tree;
-
-  TreeNode root_node;
-  root_node.name = root;
-  root_node.depth = 0;
-  in_tree.emplace(root, root_node);
 
   const ComponentNode* root_cn = cg.find(root);
   assert(root_cn != nullptr);
-  for (auto it = root_cn->edges.rbegin(); it != root_cn->edges.rend(); ++it)
-    stack.push_back(PendingVisit{it->second, root, it->first});
+  const auto root_idx = static_cast<std::uint32_t>(root_cn - base);
+  tree[root_idx].name = root;
+  tree[root_idx].depth = 0;
+  present[root_idx] = 1;
+
+  const auto push_edges = [&](const ComponentNode& cn, std::uint32_t from_idx) {
+    for (auto it = cn.edges.rbegin(); it != cn.edges.rend(); ++it) {
+      const ComponentNode* nb = cg.find(it->second);
+      assert(nb != nullptr && "component edge points outside the component");
+      const auto nb_idx = static_cast<std::uint32_t>(nb - base);
+      if (!present[nb_idx])
+        stack.push_back(PendingVisit{nb_idx, from_idx, it->first});
+    }
+  };
+  push_edges(*root_cn, root_idx);
 
   while (!stack.empty()) {
     const PendingVisit visit = stack.back();
     stack.pop_back();
-    if (in_tree.count(visit.name)) continue;  // already explored
+    if (present[visit.idx]) continue;  // already explored
+    present[visit.idx] = 1;
 
-    const ComponentNode* cn = cg.find(visit.name);
-    assert(cn != nullptr && "component edge points outside the component");
-
-    TreeNode node;
-    node.name = visit.name;
-    node.parent = visit.from;
+    const ComponentNode& cn = base[visit.idx];
+    TreeNode& node = tree[visit.idx];
+    node.name = cn.name;
+    node.parent = tree[visit.from_idx].name;
     node.port_from_parent = visit.port_at_from;
     // The port at this node back to the parent: find the edge to `from`.
-    for (const auto& [port, nb] : cn->edges) {
-      if (nb == visit.from) {
+    for (const auto& [port, nb] : cn.edges) {
+      if (nb == node.parent) {
         node.port_to_parent = port;
         break;
       }
     }
     assert(node.port_to_parent != kInvalidPort);
-    node.depth = in_tree.at(visit.from).depth + 1;
-    in_tree.at(visit.from).children.emplace_back(visit.port_at_from,
-                                                 visit.name);
-    in_tree.emplace(visit.name, std::move(node));
+    node.depth = tree[visit.from_idx].depth + 1;
+    tree[visit.from_idx].children.emplace_back(visit.port_at_from, node.name);
 
-    for (auto it = cn->edges.rbegin(); it != cn->edges.rend(); ++it)
-      if (!in_tree.count(it->second))
-        stack.push_back(PendingVisit{it->second, visit.name, it->first});
+    push_edges(cn, visit.idx);
   }
 
-  assert(in_tree.size() == cg.size() &&
+  assert(std::count(present.begin(), present.end(), char{1}) ==
+             static_cast<std::ptrdiff_t>(cg.size()) &&
          "spanning tree must cover the whole (connected) component");
-  for (auto& [name, node] : in_tree) st.add_node(std::move(node));
+  // Dense order IS ascending-name order, so seal()'s sort is a no-op pass.
+  for (auto& node : tree) st.add_node(std::move(node));
   st.seal();
   return st;
 }
@@ -109,43 +127,50 @@ SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg) {
   SpanningTree st;
   st.set_root(root);
 
-  std::map<RobotId, TreeNode> in_tree;
-  TreeNode root_node;
-  root_node.name = root;
-  root_node.depth = 0;
-  in_tree.emplace(root, root_node);
+  // Same dense-index scheme as the DFS builder above.
+  const ComponentNode* const base = cg.nodes().data();
+  std::vector<TreeNode> tree(cg.size());
+  std::vector<char> present(cg.size(), 0);
 
-  std::queue<RobotId> frontier;
-  frontier.push(root);
+  const ComponentNode* root_cn = cg.find(root);
+  assert(root_cn != nullptr);
+  const auto root_idx = static_cast<std::uint32_t>(root_cn - base);
+  tree[root_idx].name = root;
+  tree[root_idx].depth = 0;
+  present[root_idx] = 1;
+
+  std::queue<std::uint32_t> frontier;
+  frontier.push(root_idx);
   while (!frontier.empty()) {
-    const RobotId from = frontier.front();
+    const std::uint32_t from_idx = frontier.front();
     frontier.pop();
-    const ComponentNode* cn = cg.find(from);
-    assert(cn != nullptr);
-    for (const auto& [port, nb] : cn->edges) {  // ascending by port
-      if (in_tree.count(nb)) continue;
+    const ComponentNode& cn = base[from_idx];
+    for (const auto& [port, nb] : cn.edges) {  // ascending by port
       const ComponentNode* nb_cn = cg.find(nb);
       assert(nb_cn != nullptr);
-      TreeNode node;
+      const auto nb_idx = static_cast<std::uint32_t>(nb_cn - base);
+      if (present[nb_idx]) continue;
+      present[nb_idx] = 1;
+      TreeNode& node = tree[nb_idx];
       node.name = nb;
-      node.parent = from;
+      node.parent = cn.name;
       node.port_from_parent = port;
       for (const auto& [back_port, back_nb] : nb_cn->edges) {
-        if (back_nb == from) {
+        if (back_nb == cn.name) {
           node.port_to_parent = back_port;
           break;
         }
       }
       assert(node.port_to_parent != kInvalidPort);
-      node.depth = in_tree.at(from).depth + 1;
-      in_tree.at(from).children.emplace_back(port, nb);
-      in_tree.emplace(nb, std::move(node));
-      frontier.push(nb);
+      node.depth = tree[from_idx].depth + 1;
+      tree[from_idx].children.emplace_back(port, nb);
+      frontier.push(nb_idx);
     }
   }
 
-  assert(in_tree.size() == cg.size());
-  for (auto& [name, node] : in_tree) st.add_node(std::move(node));
+  assert(std::count(present.begin(), present.end(), char{1}) ==
+         static_cast<std::ptrdiff_t>(cg.size()));
+  for (auto& node : tree) st.add_node(std::move(node));
   st.seal();
   return st;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/component.h"
@@ -49,6 +50,9 @@ class SpanningTree {
  private:
   RobotId root_ = kNoRobot;
   std::vector<TreeNode> nodes_;  // ascending by name after seal()
+  /// nodes_ index of each node's parent (undefined at the root), resolved
+  /// once in seal() so root_path walks indices instead of re-finding names.
+  std::vector<std::uint32_t> parent_idx_;
 };
 
 /// Algorithm 2. Requires cg.has_multiplicity() (otherwise the component is

@@ -42,6 +42,21 @@ class Adversary {
   /// Emits G_r given the configuration at the start of round r.
   virtual Graph next_graph(Round r, const Configuration& conf) = 0;
 
+  /// Reuse hint, queried by the engine BEFORE next_graph(r, conf): true
+  /// promises that next_graph(r, conf) would return a graph operator==-equal
+  /// to the last graph this adversary returned, letting the engine skip the
+  /// call (and downstream rebuilds) entirely. Implementations must keep the
+  /// promise even when the engine skipped some next_graph calls in between
+  /// (i.e. the hint is relative to the last graph actually handed out). The
+  /// conservative default -- never claim reuse -- is always safe: the engine
+  /// falls back to fingerprint comparison of the emitted graph, so every
+  /// adversary benefits from cross-round reuse, just one graph-build later.
+  virtual bool same_as_last(Round r, const Configuration& conf) const {
+    (void)r;
+    (void)conf;
+    return false;
+  }
+
   /// True when this adversary dry-runs the algorithm (trap adversaries).
   virtual bool wants_plan_probe() const { return false; }
 

@@ -21,7 +21,19 @@ Graph ScriptedAdversary::next_graph(Round r, const Configuration&) {
   // Repeat-last-graph past the end of the script (see header contract).
   const std::size_t idx =
       r < script_.size() ? static_cast<std::size_t>(r) : script_.size() - 1;
+  last_idx_ = idx;
+  has_emitted_ = true;
   return script_[idx];
+}
+
+bool ScriptedAdversary::same_as_last(Round r, const Configuration&) const {
+  if (!has_emitted_) return false;
+  const std::size_t idx =
+      r < script_.size() ? static_cast<std::size_t>(r) : script_.size() - 1;
+  if (idx == last_idx_) return true;
+  // Fingerprint fast-reject, then exact compare: the hint is a hard promise.
+  return script_[idx].fingerprint() == script_[last_idx_].fingerprint() &&
+         script_[idx] == script_[last_idx_];
 }
 
 std::string ScriptedAdversary::serialize_script(

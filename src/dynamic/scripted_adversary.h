@@ -29,6 +29,12 @@ class ScriptedAdversary final : public Adversary {
   std::size_t node_count() const override { return script_.front().node_count(); }
   Graph next_graph(Round r, const Configuration& conf) override;
 
+  /// True past the repeat-last horizon and on script lines whose graph
+  /// equals the previously emitted one. Compares CONTENT, not just indices,
+  /// so the promise survives the engine skipping next_graph calls while the
+  /// hint was true (last_idx_ goes stale but only onto an equal graph).
+  bool same_as_last(Round r, const Configuration& conf) const override;
+
   std::size_t script_length() const { return script_.size(); }
   const std::vector<Graph>& script() const { return script_; }
 
@@ -44,6 +50,8 @@ class ScriptedAdversary final : public Adversary {
 
  private:
   std::vector<Graph> script_;
+  std::size_t last_idx_ = 0;
+  bool has_emitted_ = false;
 };
 
 }  // namespace dyndisp

@@ -14,6 +14,7 @@ std::string StaticAdversary::name() const {
 
 Graph StaticAdversary::next_graph(Round, const Configuration&) {
   if (reshuffle_ports_) graph_.shuffle_ports(rng_);
+  has_emitted_ = true;
   return graph_;
 }
 

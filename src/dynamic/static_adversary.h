@@ -20,10 +20,19 @@ class StaticAdversary final : public Adversary {
   std::size_t node_count() const override { return graph_.node_count(); }
   Graph next_graph(Round r, const Configuration& conf) override;
 
+  /// Static graphs never change once emitted; the port-shuffling variant
+  /// relabels every round, so it never claims reuse.
+  bool same_as_last(Round r, const Configuration& conf) const override {
+    (void)r;
+    (void)conf;
+    return has_emitted_ && !reshuffle_ports_;
+  }
+
  private:
   Graph graph_;
   bool reshuffle_ports_;
   Rng rng_;
+  bool has_emitted_ = false;
 };
 
 }  // namespace dyndisp

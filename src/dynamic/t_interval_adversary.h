@@ -22,6 +22,15 @@ class TIntervalAdversary final : public Adversary {
   std::size_t node_count() const override { return inner_->node_count(); }
   Graph next_graph(Round r, const Configuration& conf) override;
 
+  /// Stable within each T-round window: rounds with r % t != 0 replay the
+  /// window's graph verbatim. Safe under skipped next_graph calls because
+  /// the inner adversary is only consulted at window starts (r % t == 0),
+  /// where this returns false and forces a real call.
+  bool same_as_last(Round r, const Configuration& conf) const override {
+    (void)conf;
+    return have_current_ && r % t_ != 0;
+  }
+
   bool wants_plan_probe() const override { return inner_->wants_plan_probe(); }
   void set_plan_probe(PlanProbe probe) override {
     inner_->set_plan_probe(std::move(probe));

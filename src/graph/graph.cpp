@@ -47,6 +47,7 @@ Graph Graph::from_port_edges(std::size_t n, const std::vector<Edge>& edges) {
       throw std::invalid_argument("from_port_edges: duplicate port");
     at_u = HalfEdge{e.v, e.port_v};
     at_v = HalfEdge{e.u, e.port_u};
+    g.fp_edges_ ^= fp_edge_term(e.u, e.v, e.port_u, e.port_v);
     ++g.edge_count_;
   }
   // Every port in [1, degree] must have been named (contiguity), and the
@@ -97,6 +98,7 @@ std::pair<Port, Port> Graph::add_edge(NodeId u, NodeId v) {
   const Port pv = static_cast<Port>(adj_[v].size() + 1);
   adj_[u].push_back(HalfEdge{v, pv});
   adj_[v].push_back(HalfEdge{u, pu});
+  fp_edges_ ^= fp_edge_term(u, v, pu, pv);
   ++edge_count_;
   return {pu, pv};
 }
@@ -105,14 +107,26 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   const Port pu = port_to(u, v);
   if (pu == kInvalidPort) return false;
   const Port pv = adj_[u][pu - 1].reverse_port;
+  fp_edges_ ^= fp_edge_term(u, v, pu, pv);
 
   auto drop = [&](NodeId a, Port pa) {
+    // Port compaction relabels every edge sitting above pa at `a`, so their
+    // fingerprint terms change: XOR the old terms out before the shift and
+    // the new ones back in after. The removed edge itself sits AT pa (never
+    // above it), so its stale twin at the second drop is not re-counted.
+    for (std::size_t i = pa; i < adj_[a].size(); ++i) {
+      const HalfEdge& he = adj_[a][i];
+      fp_edges_ ^= fp_edge_term(a, he.to, static_cast<Port>(i + 1),
+                                he.reverse_port);
+    }
     adj_[a].erase(adj_[a].begin() + (pa - 1));
     // Compact: every half-edge that used to sit at a port > pa shifts down;
     // fix the reverse_port recorded at the far endpoint.
     for (std::size_t i = pa - 1; i < adj_[a].size(); ++i) {
       const HalfEdge& he = adj_[a][i];
       adj_[he.to][he.reverse_port - 1].reverse_port = static_cast<Port>(i + 1);
+      fp_edges_ ^= fp_edge_term(a, he.to, static_cast<Port>(i + 1),
+                                he.reverse_port);
     }
   };
   drop(u, pu);
@@ -135,11 +149,20 @@ void Graph::rewire_edge(NodeId u, NodeId v, NodeId x, NodeId y) {
   const Port py = static_cast<Port>(adj_[y].size() + 1);
   adj_[y].push_back(HalfEdge{v, pv});
   adj_[v][pv - 1] = HalfEdge{y, py};
+  fp_edges_ ^= fp_edge_term(u, v, pu, pv) ^ fp_edge_term(u, x, pu, px) ^
+               fp_edge_term(v, y, pv, py);
   ++edge_count_;
 }
 
 void Graph::permute_ports(NodeId v, const std::vector<std::size_t>& perm) {
   assert(perm.size() == adj_[v].size());
+  // Every incident edge's port at v changes, so retire all of v's terms and
+  // re-add them after the permutation (reverse ports elsewhere included).
+  for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+    const HalfEdge& he = adj_[v][i];
+    fp_edges_ ^=
+        fp_edge_term(v, he.to, static_cast<Port>(i + 1), he.reverse_port);
+  }
   std::vector<HalfEdge> next(adj_[v].size());
   for (std::size_t i = 0; i < perm.size(); ++i) {
     assert(perm[i] < next.size());
@@ -149,6 +172,8 @@ void Graph::permute_ports(NodeId v, const std::vector<std::size_t>& perm) {
   for (std::size_t i = 0; i < adj_[v].size(); ++i) {
     const HalfEdge& he = adj_[v][i];
     adj_[he.to][he.reverse_port - 1].reverse_port = static_cast<Port>(i + 1);
+    fp_edges_ ^=
+        fp_edge_term(v, he.to, static_cast<Port>(i + 1), he.reverse_port);
   }
 }
 
@@ -174,6 +199,54 @@ std::vector<Graph::Edge> Graph::edges() const {
     }
   }
   return result;
+}
+
+Graph::Delta Graph::delta(const Graph& prev) const {
+  Delta out;
+  delta_into(prev, out);
+  return out;
+}
+
+void Graph::delta_into(const Graph& prev, Delta& out) const {
+  out.changed_nodes.clear();
+  out.added.clear();
+  out.removed.clear();
+  out.node_count_changed = adj_.size() != prev.adj_.size();
+  if (out.node_count_changed) return;
+  for (NodeId v = 0; v < adj_.size(); ++v)
+    if (adj_[v] != prev.adj_[v]) out.changed_nodes.push_back(v);
+  // Edge-level diff only needs the changed nodes: a port-labeled edge that
+  // appears or disappears (or is relabeled) changes the adjacency of BOTH
+  // endpoints, so scanning changed nodes and emitting at the lower endpoint
+  // sees every difference exactly once.
+  auto collect = [&](const Graph& g, const Graph& other,
+                     std::vector<Edge>& sink) {
+    for (NodeId v : out.changed_nodes) {
+      for (std::size_t i = 0; i < g.adj_[v].size(); ++i) {
+        const HalfEdge& he = g.adj_[v][i];
+        if (v >= he.to) continue;
+        const bool present_in_other =
+            i < other.adj_[v].size() && other.adj_[v][i] == he;
+        if (!present_in_other)
+          sink.push_back(Edge{v, he.to, static_cast<Port>(i + 1),
+                              he.reverse_port});
+      }
+    }
+  };
+  collect(*this, prev, out.added);
+  collect(prev, *this, out.removed);
+}
+
+bool Graph::changed_nodes_into(const Graph& prev, std::vector<NodeId>& out,
+                               std::size_t cap) const {
+  out.clear();
+  if (adj_.size() != prev.adj_.size()) return false;
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    if (adj_[v] == prev.adj_[v]) continue;
+    if (out.size() >= cap) return false;
+    out.push_back(v);
+  }
+  return true;
 }
 
 std::string Graph::validate() const {

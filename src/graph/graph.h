@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "graph/fingerprint.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -106,8 +108,52 @@ class Graph {
   struct Edge {
     NodeId u, v;
     Port port_u, port_v;
+
+    bool operator==(const Edge&) const = default;
   };
   std::vector<Edge> edges() const;
+
+  /// Deterministic 64-bit structural fingerprint of the port-labeled edge
+  /// set plus the node count (see graph/fingerprint.h). Maintained
+  /// incrementally by every mutator, so this is O(1). Equal graphs always
+  /// have equal fingerprints; the converse holds up to ~2^-64 collisions.
+  std::uint64_t fingerprint() const {
+    return fp_mix(fp_edges_ ^ fp_mix(static_cast<std::uint64_t>(adj_.size())));
+  }
+
+  /// The structural difference against `prev` (typically last round's
+  /// graph): which nodes' adjacency changed, and the port-labeled edges
+  /// added/removed. A port relabeling of a surviving edge reports as one
+  /// removed + one added edge -- port identity is part of edge identity
+  /// here, because packets and plans depend on it. Cost: O(n + changed
+  /// adjacency); unchanged nodes are compared vector-wise.
+  struct Delta {
+    /// Nodes whose incident half-edge list differs, ascending. When
+    /// node_count_changed is true this list is empty (no meaningful diff).
+    std::vector<NodeId> changed_nodes;
+    std::vector<Edge> added;    ///< In this graph, not (identically) in prev.
+    std::vector<Edge> removed;  ///< In prev, not (identically) in this graph.
+    bool node_count_changed = false;
+
+    bool empty() const {
+      return !node_count_changed && changed_nodes.empty();
+    }
+  };
+  Delta delta(const Graph& prev) const;
+
+  /// delta() into caller-owned storage (cleared first) so the round loop
+  /// can reuse the vectors' capacity across rounds.
+  void delta_into(const Graph& prev, Delta& out) const;
+
+  /// The changed-nodes part of delta() alone, abandoned early: fills `out`
+  /// (cleared first) with the nodes whose adjacency differs from `prev`,
+  /// ascending, and returns true -- unless more than `cap` nodes differ or
+  /// the node counts differ, in which case it returns false with `out` in
+  /// an unspecified partial state. The round loop's small-delta probe uses
+  /// this so churn-heavy rounds pay for a prefix of the comparison, not a
+  /// full edge-level diff they will immediately discard.
+  bool changed_nodes_into(const Graph& prev, std::vector<NodeId>& out,
+                          std::size_t cap) const;
 
   /// Verifies internal consistency (reverse ports, contiguity, simplicity).
   /// Returns an empty string when valid, else a description of the violation.
@@ -120,6 +166,8 @@ class Graph {
  private:
   std::vector<std::vector<HalfEdge>> adj_;
   std::size_t edge_count_ = 0;
+  /// XOR of fp_edge_term over all edges; folded into fingerprint().
+  std::uint64_t fp_edges_ = 0;
 
   friend bool operator==(const HalfEdge&, const HalfEdge&);
 };

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/structure_cache.h"
 #include "dynamic/validator.h"
 #include "util/parallel.h"
 
@@ -54,7 +55,26 @@ void Engine::refresh_state(RobotId id) {
   BitWriter w;
   robots_[id - 1]->serialize(w);
   state_bits_[id - 1] = w.bit_count();
+  // Settled robots re-serialize to identical bytes round after round; keep
+  // the existing handle then, so downstream pointer-equality reuse (per-node
+  // state lists, and through them whole views) fires. Byte-compare decides
+  // -- a changed state always gets a fresh handle.
+  const StateHandle& slot = states_[id - 1];
+  if (slot && *slot == w.bytes()) {
+    ++state_handles_reused_;
+    return;
+  }
   states_[id - 1] = std::make_shared<const std::vector<std::uint8_t>>(w.bytes());
+}
+
+ReuseHints Engine::make_hints(const Graph& g) const {
+  ReuseHints hints;
+  hints.valid = options_.structure_cache && options_.comm == CommModel::kGlobal &&
+                options_.byzantine == nullptr;
+  hints.neighborhood = options_.neighborhood_knowledge;
+  hints.graph_fp = g.fingerprint();
+  hints.conf_digest = ctx_.conf_digest();
+  return hints;
 }
 
 MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
@@ -64,7 +84,7 @@ MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
                          const std::vector<RobotAlgorithm*>& robots,
                          const RoundContext& ctx,
                          std::shared_ptr<const std::vector<InfoPacket>> packets,
-                         ThreadPool* pool) {
+                         const ReuseHints& hints, ThreadPool* pool) {
   const bool neighborhood = options.neighborhood_knowledge;
   const std::size_t k = conf.robot_count();
 
@@ -79,6 +99,7 @@ MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
                                neighborhood, packets, &ctx.index());
     view.arrival_port = arrival_ports[i];
     view.colocated_states = ctx.node_states(conf.position(id));
+    view.reuse = hints;
     views[i] = std::move(view);
   });
 
@@ -125,9 +146,13 @@ MovePlan Engine::probe_plan(const Graph& candidate) const {
         options_.byzantine.get(), pool_.get());
   }
   // The probe round number equals the round being constructed; the engine
-  // stores it in probe_round_ via the lambda installed in run().
+  // stores it in probe_round_ via the lambda installed in run(). Probe hints
+  // carry the CANDIDATE's fingerprint: the dry-run broadcast is a function
+  // of the candidate graph, and a cached structure only serves it after a
+  // content compare, so probing can never leak a wrong plan.
   return plan_on(candidate, conf_, probe_round_, options_, arrival_ports_,
-                 active_, raw, *round_ctx_, std::move(packets), pool_.get());
+                 active_, raw, *round_ctx_, std::move(packets),
+                 make_hints(candidate), pool_.get());
 }
 
 MovePlan Engine::compute_plan(const Graph& g, Round round,
@@ -136,7 +161,7 @@ MovePlan Engine::compute_plan(const Graph& g, Round round,
   raw.reserve(robots_.size());
   for (const auto& r : robots_) raw.push_back(r.get());
   return plan_on(g, conf_, round, options_, arrival_ports_, active_, raw, ctx,
-                 ctx.packets(), pool_.get());
+                 ctx.packets(), make_hints(g), pool_.get());
 }
 
 void Engine::draw_activation() {
@@ -176,6 +201,29 @@ RunResult Engine::run() {
   res.initial_occupied = conf_.occupied_count();
   res.max_occupied = res.initial_occupied;
 
+  // StructureCache counters are process-wide; a start-of-run snapshot turns
+  // them into per-run deltas (exact when runs execute one at a time).
+  const core::StructureCacheStats sc_before =
+      core::StructureCache::global_stats();
+  const auto finalize_stats = [&]() {
+    const RoundContext::Counters& rc = ctx_.counters();
+    res.stats.packets_copied = rc.packets_copied;
+    res.stats.packets_rebuilt = rc.packets_rebuilt;
+    res.stats.node_state_lists_reused = rc.node_state_lists_reused;
+    res.stats.scratch_reuses = rc.scratch_reuses;
+    res.stats.state_handles_reused = state_handles_reused_;
+    const core::StructureCacheStats sc_after =
+        core::StructureCache::global_stats();
+    res.stats.sc_exact_hits = sc_after.exact_hits - sc_before.exact_hits;
+    res.stats.sc_delta_rounds = sc_after.delta_rounds - sc_before.delta_rounds;
+    res.stats.sc_full_builds = sc_after.full_builds - sc_before.full_builds;
+    res.stats.sc_components_reused =
+        sc_after.components_reused - sc_before.components_reused;
+    res.stats.sc_components_rebuilt =
+        sc_after.components_rebuilt - sc_before.components_rebuilt;
+    res.stats.sc_evictions = sc_after.evictions - sc_before.evictions;
+  };
+
   std::vector<bool> ever_occupied(conf_.node_count(), false);
   std::size_t explored = 0;
   for (const NodeId v : conf_.occupied_nodes()) {
@@ -204,40 +252,113 @@ RunResult Engine::run() {
       res.final_config = conf_;
       res.max_memory_bits = meter_.max_bits();
       res.explored_nodes = explored;
+      finalize_stats();
       return res;
     }
 
     probe_round_ = r;
     draw_activation();
-    // The round's shared artifacts: node index and state lists, built once
-    // and valid for every candidate graph probed this round.
-    RoundContext ctx(conf_, states_);
-    round_ctx_ = &ctx;
+    // The round's shared artifacts: node index, occupancy diff, and state
+    // lists -- rebuilt into the persistent context's retained buffers and
+    // valid for every candidate graph probed this round.
+    ctx_.begin_round(conf_, states_);
+    round_ctx_ = &ctx_;
     if (adversary_.wants_plan_probe()) {
       adversary_.set_plan_probe(
           [this](const Graph& g) { return probe_plan(g); });
     }
-    Graph g = adversary_.next_graph(r, conf_);
+
+    const bool sc = options_.structure_cache;
+    bool same_graph = false;   // G_r provably operator== G_{r-1}
+    bool small_delta = false;  // G_r near G_{r-1}; graph_delta_ holds the diff
+    if (sc && have_graph_ && adversary_.same_as_last(r, conf_)) {
+      // Honest hint (conformance-tested per adversary): the graph the
+      // adversary would emit equals the one it last emitted, which is
+      // graph_. Skip constructing it at all.
+      same_graph = true;
+      ++res.stats.graph_reuses;
+    } else {
+      Graph g = adversary_.next_graph(r, conf_);
+      if (sc && have_graph_) {
+        if (g.fingerprint() == graph_.fingerprint() && g == graph_) {
+          same_graph = true;
+        } else {
+          // Capped scan: a delta is only useful up to n/4 changed nodes
+          // (beyond that full reassembly is cheaper), so churn-heavy rounds
+          // abandon the comparison as soon as that is certain instead of
+          // paying for a full edge-level diff.
+          small_delta = g.changed_nodes_into(graph_, graph_delta_.changed_nodes,
+                                             conf_.node_count() / 4);
+        }
+      }
+      graph_ = std::move(g);
+      have_graph_ = true;
+      if (!same_graph) graph_validated_ = false;
+    }
+    if (same_graph) ++res.stats.same_graph_rounds;
+
     if (options_.validate_graphs) {
-      if (std::string err = validate_round_graph(g, conf_.node_count());
-          !err.empty()) {
+      const std::uint64_t fp = graph_.fingerprint();
+      if (sc && same_graph && graph_validated_ && validated_fp_ == fp) {
+        // The identical graph already passed validation; re-running it
+        // would re-derive the same verdict.
+        ++res.stats.validations_skipped;
+      } else if (std::string err =
+                     validate_round_graph(graph_, conf_.node_count());
+                 !err.empty()) {
         round_ctx_ = nullptr;
         throw InvariantViolation(r, "round-graph",
                                  "adversary " + adversary_.name() +
                                      " emitted invalid graph in round " +
                                      std::to_string(r) + ": " + err);
+      } else {
+        graph_validated_ = true;
+        validated_fp_ = fp;
       }
     }
+
     if (options_.comm == CommModel::kGlobal) {
-      // Single assembly per round: build the broadcast and meter its wire
-      // bits in one pass, then share it with every view via handle.
-      ctx.assemble_packets(g, conf_, options_.neighborhood_knowledge,
-                           options_.byzantine.get(), pool_.get());
-      res.packets_sent += ctx.packet_count();
-      res.packet_bits_sent += ctx.packet_bits();
+      const bool can_source = sc && options_.byzantine == nullptr &&
+                              ctx_.has_prev_packets();
+      if (can_source && same_graph && !ctx_.occupancy_changed()) {
+        // Both broadcast inputs are unchanged: republish the previous
+        // round's packets by handle, bits ledger and all.
+        ctx_.reuse_packets();
+        ++res.stats.broadcasts_reused;
+      } else if (can_source && (same_graph || small_delta)) {
+        // Delta reassembly. A sender's packet reads its own adjacency, its
+        // own robots, and the robots on each CURRENT neighbor, so the dirty
+        // set is: occupancy-changed nodes, their new-graph neighbors, and
+        // (when the graph moved) every node whose adjacency changed. An
+        // old-graph-only neighbor of v implies v's adjacency changed, so
+        // the union covers that case too.
+        dirty_nodes_.clear();
+        for (const NodeId v : ctx_.changed_nodes()) {
+          dirty_nodes_.push_back(v);
+          for (Port p = 1; p <= graph_.degree(v); ++p)
+            dirty_nodes_.push_back(graph_.neighbor(v, p));
+        }
+        if (!same_graph)
+          for (const NodeId v : graph_delta_.changed_nodes)
+            dirty_nodes_.push_back(v);
+        std::sort(dirty_nodes_.begin(), dirty_nodes_.end());
+        dirty_nodes_.erase(
+            std::unique(dirty_nodes_.begin(), dirty_nodes_.end()),
+            dirty_nodes_.end());
+        ctx_.delta_packets(graph_, conf_, options_.neighborhood_knowledge,
+                           dirty_nodes_, pool_.get());
+        ++res.stats.broadcast_deltas;
+      } else {
+        // Single assembly per round: build the broadcast and meter its wire
+        // bits in one pass, then share it with every view via handle.
+        ctx_.assemble_packets(graph_, conf_, options_.neighborhood_knowledge,
+                              options_.byzantine.get(), pool_.get());
+      }
+      res.packets_sent += ctx_.packet_count();
+      res.packet_bits_sent += ctx_.packet_bits();
     }
 
-    MovePlan plan = compute_plan(g, r, ctx);
+    MovePlan plan = compute_plan(graph_, r, ctx_);
     round_ctx_ = nullptr;
 
     bool crashed_this_round =
@@ -256,7 +377,7 @@ RunResult Engine::run() {
       if (!conf_.alive(id)) continue;
       const Port p = plan[id - 1];
       if (p == kInvalidPort) continue;
-      const HalfEdge& he = g.half_edge(before.position(id), p);
+      const HalfEdge& he = graph_.half_edge(before.position(id), p);
       conf_.set_position(id, he.to);
       arrival_ports_[id - 1] = he.reverse_port;
       ++res.total_moves;
@@ -291,13 +412,14 @@ RunResult Engine::run() {
       // Oracles see the round exactly as executed: the emitted graph, both
       // configurations, the chosen plan, and the metered memory peak.
       options_.invariant_checker(RoundSnapshot{
-          r, g, before, conf_, plan, newly, crashed_this_round,
+          r, graph_, before, conf_, plan, newly, crashed_this_round,
           meter_.max_bits()});
     }
     if (options_.record_trace) {
       RoundRecord rec;
       rec.round = r;
-      rec.graph = std::move(g);
+      // Copy, not move: graph_ persists as the next round's G_{r-1}.
+      rec.graph = graph_;
       rec.before = before;
       rec.moves = std::move(plan);
       rec.after = conf_;
@@ -311,6 +433,7 @@ RunResult Engine::run() {
   res.final_config = conf_;
   res.max_memory_bits = meter_.max_bits();
   res.explored_nodes = explored;
+  finalize_stats();
   return res;
 }
 

@@ -108,6 +108,15 @@ struct EngineOptions {
   Round max_rounds = 100000;
   /// Validate every adversary-emitted graph (connectivity, ports, |V|).
   bool validate_graphs = true;
+  /// Delta-aware round loop (docs/PERFORMANCE.md): skip next_graph when the
+  /// adversary promises an unchanged graph (same_as_last), skip re-validating
+  /// a graph already validated, reuse or delta-assemble the packet broadcast
+  /// across rounds, and hand robots valid ReuseHints so plan layers can
+  /// memoize Algorithm 1-3 structures across rounds (StructureCache). Every
+  /// reuse path is bitwise identical to the rebuilt path (the differential
+  /// suite proves it); disabling this reproduces the seed engine's behavior
+  /// call-for-call, which is what --no-structure-cache exposes.
+  bool structure_cache = true;
   /// Record a full per-round trace (heavy).
   bool record_trace = false;
   /// Record per-round occupied counts (cheap) for progress plots.
@@ -128,6 +137,33 @@ struct EngineOptions {
   /// artifacts and mutate their own state, and every parallel loop writes to
   /// index-owned slots under a static partition.
   std::size_t threads = 1;
+};
+
+/// Delta-aware round-loop effectiveness, counted (not estimated) per run.
+/// Observability only: these fields are deliberately excluded from run
+/// digests (check/trial.cpp) and campaign records, so toggling
+/// EngineOptions::structure_cache can never change a correctness-compared
+/// output -- the differential suite relies on exactly that.
+struct RoundLoopStats {
+  std::size_t same_graph_rounds = 0;    ///< Rounds where G_r == G_{r-1}.
+  std::size_t graph_reuses = 0;         ///< next_graph calls skipped (hint).
+  std::size_t validations_skipped = 0;  ///< Re-validations of an unchanged graph skipped.
+  std::size_t broadcasts_reused = 0;    ///< Previous broadcast republished by handle.
+  std::size_t broadcast_deltas = 0;     ///< Broadcasts delta-assembled.
+  std::size_t packets_copied = 0;       ///< Packets copied on delta rounds.
+  std::size_t packets_rebuilt = 0;      ///< Packets rebuilt on delta rounds.
+  std::size_t state_handles_reused = 0; ///< Unchanged serialized states kept by handle.
+  std::size_t node_state_lists_reused = 0;  ///< Per-node state lists kept by handle.
+  std::size_t scratch_reuses = 0;       ///< Round buffers refilled in place.
+  /// StructureCache (planner-layer) counters: per-run deltas of the
+  /// process-wide totals. Exact when one run executes at a time; advisory
+  /// under concurrent runs (campaign mode does not record them).
+  std::uint64_t sc_exact_hits = 0;
+  std::uint64_t sc_delta_rounds = 0;
+  std::uint64_t sc_full_builds = 0;
+  std::uint64_t sc_components_reused = 0;
+  std::uint64_t sc_components_rebuilt = 0;
+  std::uint64_t sc_evictions = 0;
 };
 
 struct RunResult {
@@ -157,6 +193,7 @@ struct RunResult {
   Configuration final_config;
   std::vector<std::size_t> occupied_per_round;  ///< If record_progress.
   Trace trace;                                  ///< If record_trace.
+  RoundLoopStats stats;  ///< Reuse counters; excluded from digests/records.
 };
 
 class Engine {
@@ -206,6 +243,19 @@ class Engine {
   /// adversary (and its plan probes) are consulted.
   const RoundContext* round_ctx_ = nullptr;
 
+  /// Round-loop persistence (delta-aware loop). ctx_ lives across rounds so
+  /// its buffers are reused; graph_ holds G_{r-1} for same-graph detection
+  /// and deltas; graph_validated_/validated_fp_ remember whether graph_
+  /// already passed validate_round_graph.
+  RoundContext ctx_;
+  Graph graph_;
+  bool have_graph_ = false;
+  bool graph_validated_ = false;
+  std::uint64_t validated_fp_ = 0;
+  Graph::Delta graph_delta_;         ///< Scratch: G_r vs G_{r-1}.
+  std::vector<NodeId> dirty_nodes_;  ///< Scratch: delta-assembly dirty set.
+  std::size_t state_handles_reused_ = 0;  ///< refresh_state byte-equal keeps.
+
   /// Dry-runs all alive robots' compute phases on a candidate graph,
   /// reusing the current round's context (state snapshots, node index).
   MovePlan probe_plan(const Graph& candidate) const;
@@ -216,7 +266,8 @@ class Engine {
   /// Views are assembled for ALL robots first (so state exchange reflects
   /// the synchronous start-of-round snapshot), then every robot steps.
   /// `packets` is the (possibly candidate) broadcast for `g`; shared round
-  /// artifacts come from `ctx`.
+  /// artifacts come from `ctx`; `hints` ride into every view (invalid hints
+  /// when the broadcast is not a pure function of (g, conf, model)).
   static MovePlan plan_on(const Graph& g, const Configuration& conf,
                           Round round, const EngineOptions& options,
                           const std::vector<Port>& arrival_ports,
@@ -224,7 +275,12 @@ class Engine {
                           const std::vector<RobotAlgorithm*>& robots,
                           const RoundContext& ctx,
                           std::shared_ptr<const std::vector<InfoPacket>> packets,
-                          ThreadPool* pool);
+                          const ReuseHints& hints, ThreadPool* pool);
+
+  /// Hints describing the broadcast for graph `g` this round; valid only
+  /// when the structure-cache loop is on, communication is global, and no
+  /// Byzantine model tampers packets.
+  ReuseHints make_hints(const Graph& g) const;
 
   /// Re-serializes robot `id`'s persistent state into states_.
   void refresh_state(RobotId id);

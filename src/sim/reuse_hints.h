@@ -1,0 +1,32 @@
+// Cross-round reuse hints, attached by the engine to every RobotView.
+//
+// The hints identify the (graph, configuration, sensing-model) triple the
+// round's packet broadcast was assembled from, in a form cheap enough to
+// compare across rounds: the graph's incremental structural fingerprint and
+// an XOR digest of the alive robots' positions. Algorithm 1-3 structures are
+// pure functions of the packet set (Lemma 4), and the packet set is a pure
+// function of this triple -- which is what makes the StructureCache keyed on
+// these hints an exact memoization. The digests only SELECT cache entries;
+// every consumer confirms candidates by comparing actual packet contents, so
+// a digest collision costs a missed reuse, never a wrong plan.
+//
+// `valid` is false when the engine cannot vouch for the triple -- structure
+// caching disabled, local communication, or a Byzantine model tampering
+// packets after assembly (tampered packets are not a function of the triple).
+// Invalid hints make every consumer fall back to the uncached path.
+#pragma once
+
+#include <cstdint>
+
+namespace dyndisp {
+
+struct ReuseHints {
+  bool valid = false;
+  /// Whether the packets carry 1-neighborhood information (part of the
+  /// packet-defining triple; the fingerprint and digest do not capture it).
+  bool neighborhood = false;
+  std::uint64_t graph_fp = 0;    ///< Graph::fingerprint() of the round graph.
+  std::uint64_t conf_digest = 0; ///< XOR digest of alive (robot, node) pairs.
+};
+
+}  // namespace dyndisp

@@ -1,19 +1,92 @@
 #include "sim/round_context.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <utility>
 
+#include "graph/fingerprint.h"
 #include "util/parallel.h"
 
 namespace dyndisp {
 
-RoundContext::RoundContext(const Configuration& conf,
-                           const std::vector<StateHandle>& states)
-    : index_(robots_by_node(conf)), node_states_(conf.node_count()) {
+void RoundContext::begin_round(const Configuration& conf,
+                               const std::vector<StateHandle>& states) {
   assert(states.size() == conf.robot_count());
-  for (NodeId v = 0; v < conf.node_count(); ++v) {
+  const std::size_t n = conf.node_count();
+
+  // Retire the finished round's broadcast into the delta-assembly source.
+  prev_packets_ = std::move(packets_);
+  packets_ = nullptr;
+  prev_packet_bits_each_.swap(packet_bits_each_);
+  prev_packet_nodes_.swap(packet_nodes_);
+  prev_packet_bits_ = packet_bits_;
+  packet_bits_each_.clear();
+  packet_nodes_.clear();
+  packet_bits_ = 0;
+
+  // Rebuild the node index into the retained double buffer: the inner
+  // vectors keep their capacity across rounds, so steady-state rounds
+  // allocate nothing here.
+  prev_index_.swap(index_);
+  const bool index_fits = index_.size() == n;
+  if (index_fits) {
+    for (auto& node : index_) node.clear();
+    ++counters_.scratch_reuses;
+  } else {
+    index_.assign(n, {});
+  }
+  conf_digest_ = 0;
+  for (RobotId id = 1; id <= conf.robot_count(); ++id) {
+    if (!conf.alive(id)) continue;
+    const NodeId pos = conf.position(id);
+    index_[pos].push_back(id);
+    conf_digest_ ^=
+        fp_mix((static_cast<std::uint64_t>(id) << 32) | pos);
+  }
+
+  // Diff occupancy against the previous round. A node-count change (never
+  // happens mid-run under one adversary, but contexts are reusable) voids
+  // the comparison basis and the retired broadcast with it.
+  changed_nodes_.clear();
+  if (first_round_ || prev_index_.size() != n) {
+    for (NodeId v = 0; v < n; ++v)
+      if (!index_[v].empty()) changed_nodes_.push_back(v);
+    occupancy_changed_ = true;
+    prev_packets_ = nullptr;
+  } else {
+    for (NodeId v = 0; v < n; ++v)
+      if (index_[v] != prev_index_[v]) changed_nodes_.push_back(v);
+    occupancy_changed_ = !changed_nodes_.empty();
+  }
+  first_round_ = false;
+
+  // Per-node state lists. A node keeps last round's list handle exactly
+  // when the list it needs now is the list it already holds: same robots,
+  // and every member's state handle still the one serialized for it. The
+  // pointer compare IS the full condition -- robots that stepped get a
+  // fresh handle from the engine, so stale content can never be retained.
+  if (node_states_.size() != n) node_states_.assign(n, nullptr);
+  for (NodeId v = 0; v < n; ++v) {
     const std::vector<RobotId>& here = index_[v];
-    if (here.empty()) continue;
+    if (here.empty()) {
+      node_states_[v] = nullptr;
+      continue;
+    }
+    const auto& old = node_states_[v];
+    bool reusable = old != nullptr && old->size() == here.size();
+    if (reusable) {
+      for (std::size_t i = 0; i < here.size(); ++i) {
+        if ((*old)[i] != states[here[i] - 1]) {
+          reusable = false;
+          break;
+        }
+      }
+    }
+    if (reusable) {
+      ++counters_.node_state_lists_reused;
+      continue;
+    }
     auto list = std::make_shared<std::vector<StateHandle>>();
     list->reserve(here.size());
     for (const RobotId id : here) list->push_back(states[id - 1]);
@@ -26,11 +99,103 @@ void RoundContext::assemble_packets(const Graph& g, const Configuration& conf,
                                     const ByzantineModel* byzantine,
                                     ThreadPool* pool) {
   assert(!packets_ && "the round's broadcast is assembled exactly once");
-  auto assembled = make_all_packets_metered(g, conf, with_neighborhood,
-                                            index_, &packet_bits_, pool);
-  if (byzantine) byzantine->tamper(assembled);
+  auto assembled =
+      make_all_packets_metered(g, conf, with_neighborhood, index_,
+                               &packet_bits_, pool, &packet_bits_each_,
+                               &packet_nodes_);
+  if (byzantine) {
+    byzantine->tamper(assembled);
+    // Tampered packets no longer match their metered sizes; drop the
+    // per-packet arrays so no delta round ever sources from them.
+    packet_bits_each_.clear();
+    packet_nodes_.clear();
+  }
   packets_ =
       std::make_shared<const std::vector<InfoPacket>>(std::move(assembled));
+}
+
+void RoundContext::reuse_packets() {
+  assert(!packets_ && "the round's broadcast is assembled exactly once");
+  assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_->size() &&
+         "reuse requires an untampered previous broadcast");
+  packets_ = prev_packets_;
+  packet_bits_each_ = prev_packet_bits_each_;
+  packet_nodes_ = prev_packet_nodes_;
+  packet_bits_ = prev_packet_bits_;
+}
+
+void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
+                                 bool with_neighborhood,
+                                 const std::vector<NodeId>& dirty_nodes,
+                                 ThreadPool* pool) {
+  assert(!packets_ && "the round's broadcast is assembled exactly once");
+  assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_->size() &&
+         "delta assembly requires an untampered previous broadcast");
+  const std::size_t n = conf.node_count();
+  const std::size_t k = conf.robot_count();
+
+  // node -> previous-broadcast packet index; -2 marks dirty nodes (rebuild
+  // even if a previous packet exists), -1 nodes with no usable source.
+  node_to_prev_.assign(n, -1);
+  for (std::size_t i = 0; i < prev_packet_nodes_.size(); ++i)
+    node_to_prev_[prev_packet_nodes_[i]] = static_cast<std::int32_t>(i);
+  for (const NodeId v : dirty_nodes) {
+    assert(v < n);
+    node_to_prev_[v] = -2;
+  }
+
+  std::vector<NodeId> nodes;
+  nodes.reserve(conf.occupied_count());
+  for (NodeId v = 0; v < n; ++v)
+    if (!index_[v].empty()) nodes.push_back(v);
+
+  std::vector<InfoPacket> assembled(nodes.size());
+  std::vector<std::size_t> bits(nodes.size());
+  parallel_for(pool, nodes.size(), [&](std::size_t i) {
+    const NodeId v = nodes[i];
+    const std::int32_t pi = node_to_prev_[v];
+    if (pi >= 0) {
+      // Clean sender with a previous packet: the packet is a pure function
+      // of the (unchanged) occupancy and adjacency around v -- copy it and
+      // its metered size verbatim.
+      assembled[i] = (*prev_packets_)[static_cast<std::size_t>(pi)];
+      bits[i] = prev_packet_bits_each_[static_cast<std::size_t>(pi)];
+    } else {
+      assembled[i] = make_packet(g, conf, v, with_neighborhood, &index_);
+      bits[i] = packet_bit_size(assembled[i], k, n);
+    }
+  });
+  for (const NodeId v : nodes) {
+    if (node_to_prev_[v] >= 0)
+      ++counters_.packets_copied;
+    else
+      ++counters_.packets_rebuilt;
+  }
+  publish_sorted(std::move(assembled), std::move(bits), std::move(nodes));
+}
+
+void RoundContext::publish_sorted(std::vector<InfoPacket> assembled,
+                                  std::vector<std::size_t> bits,
+                                  std::vector<NodeId> nodes) {
+  // Same canonical order as make_all_packets_metered: sender-ID ascending
+  // (senders are unique), permuting the aligned arrays identically.
+  std::vector<std::size_t> order(assembled.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return assembled[a].sender < assembled[b].sender;
+  });
+
+  std::vector<InfoPacket> sorted(assembled.size());
+  packet_bits_each_.resize(assembled.size());
+  packet_nodes_.resize(assembled.size());
+  packet_bits_ = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted[i] = std::move(assembled[order[i]]);
+    packet_bits_each_[i] = bits[order[i]];
+    packet_nodes_[i] = nodes[order[i]];
+    packet_bits_ += packet_bits_each_[i];
+  }
+  packets_ = std::make_shared<const std::vector<InfoPacket>>(std::move(sorted));
 }
 
 std::shared_ptr<const std::vector<InfoPacket>>

@@ -1,4 +1,6 @@
-// RoundContext: the per-round shared artifacts, each assembled exactly once.
+// RoundContext: the per-round shared artifacts, each assembled exactly once
+// -- and, across rounds, assembled incrementally where the configuration and
+// graph permit.
 //
 // One CCM round under global communication needs three shared products:
 //   * the node -> alive-robots index (robots_by_node),
@@ -8,13 +10,23 @@
 // The seed engine rebuilt the index and the broadcast twice per round (once
 // to meter bits, once to plan) and deep-copied state bytes into every view;
 // RoundContext assembles each exactly once and hands out reference-counted
-// handles instead. The index and state lists depend only on the
-// configuration and the robots' states, so one context also serves every
-// candidate graph a trap adversary probes within the round -- probes pay
-// only for their candidate's packet assembly, not for re-serializing robots.
+// handles instead.
+//
+// Since the delta-aware round loop (see docs/PERFORMANCE.md), one context
+// PERSISTS across the whole run: begin_round() rebuilds the index into
+// retained buffers (no per-round reallocation), diffs it against the
+// previous round to expose which nodes' occupancy changed, keeps unchanged
+// nodes' state lists by handle, and lets the engine choose between three
+// broadcast paths -- full assembly, handle reuse (identical graph and
+// occupancy), or delta assembly (rebuild only the packets whose content can
+// have changed, copy the rest from the previous broadcast). Every path
+// produces a broadcast bitwise identical to full assembly; the engine's
+// packets_sent / packet_bits_sent accounting is identical on all paths.
+// Counters (not guesses) report how often each reuse actually fired.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -29,11 +41,25 @@ class ThreadPool;
 
 class RoundContext {
  public:
-  /// Builds the graph-independent artifacts: the node index and the shared
-  /// per-node state lists. `states` holds every robot's serialized
-  /// start-of-round state (id-1 indexed; dead robots' entries are unused)
-  /// and must outlive the context.
-  RoundContext(const Configuration& conf, const std::vector<StateHandle>& states);
+  /// An empty context; call begin_round before use.
+  RoundContext() = default;
+
+  /// One-shot construction (tests / single-round uses): equivalent to
+  /// default-constructing and calling begin_round once.
+  RoundContext(const Configuration& conf,
+               const std::vector<StateHandle>& states) {
+    begin_round(conf, states);
+  }
+
+  /// Starts a round: rebuilds the node index (into retained buffers), diffs
+  /// occupancy against the previous round, refreshes the per-node state
+  /// lists (unchanged nodes keep their list handle when every member's
+  /// state handle is unchanged), and retires the previous round's broadcast
+  /// into the delta-assembly source. `states` holds every robot's
+  /// serialized start-of-round state (id-1 indexed; dead robots' entries
+  /// are unused) and must outlive the round.
+  void begin_round(const Configuration& conf,
+                   const std::vector<StateHandle>& states);
 
   const NodeRobots& index() const { return index_; }
 
@@ -44,14 +70,48 @@ class RoundContext {
     return node_states_[v];
   }
 
+  /// True when any node's alive-robot list differs from the previous round
+  /// (always true on the first round).
+  bool occupancy_changed() const { return occupancy_changed_; }
+
+  /// Nodes whose alive-robot list changed since the previous round,
+  /// ascending -- including nodes that became empty.
+  const std::vector<NodeId>& changed_nodes() const { return changed_nodes_; }
+
+  /// XOR digest over alive robots of their (id, position) pair, mixed per
+  /// robot -- the configuration half of the ReuseHints key.
+  std::uint64_t conf_digest() const { return conf_digest_; }
+
   /// Assembles the packet broadcast for the round's actual graph exactly
   /// once: wire bits are metered during assembly (pre-tamper, matching the
   /// honest-wire-cost metric), then the optional Byzantine model corrupts
   /// the set, and the result is frozen behind the shared handle every view
-  /// of the round receives. Call at most once per context.
+  /// of the round receives. Call at most one broadcast path per round.
   void assemble_packets(const Graph& g, const Configuration& conf,
                         bool with_neighborhood, const ByzantineModel* byzantine,
                         ThreadPool* pool);
+
+  /// Republishes the previous round's broadcast handle unchanged. Only
+  /// legal when the graph and every node's occupancy are unchanged (the
+  /// broadcast is a pure function of both) -- the engine checks; tampered
+  /// (Byzantine) broadcasts are never republished.
+  /// Requires has_prev_packets().
+  void reuse_packets();
+
+  /// Delta assembly: packets of senders in `dirty_nodes` (ascending; the
+  /// closure of occupancy and adjacency changes) are rebuilt from `g`, all
+  /// other packets are copied from the previous broadcast together with
+  /// their metered bit sizes. The result -- content, canonical sender
+  /// order, and wire-bit total -- is bitwise identical to assemble_packets
+  /// on the same inputs without a Byzantine model.
+  /// Requires has_prev_packets().
+  void delta_packets(const Graph& g, const Configuration& conf,
+                     bool with_neighborhood,
+                     const std::vector<NodeId>& dirty_nodes, ThreadPool* pool);
+
+  /// True when the previous round produced a broadcast the delta paths can
+  /// source from.
+  bool has_prev_packets() const { return prev_packets_ != nullptr; }
 
   /// Builds a broadcast for a candidate graph a trap adversary probes,
   /// without touching the context's own broadcast. Tampering applies (the
@@ -60,7 +120,7 @@ class RoundContext {
       const Graph& g, const Configuration& conf, bool with_neighborhood,
       const ByzantineModel* byzantine, ThreadPool* pool) const;
 
-  /// The round's broadcast; null until assemble_packets (or under local
+  /// The round's broadcast; null until a broadcast path ran (or under local
   /// communication, where no packets propagate).
   const std::shared_ptr<const std::vector<InfoPacket>>& packets() const {
     return packets_;
@@ -69,14 +129,47 @@ class RoundContext {
   /// Packets in the round's broadcast (== occupied nodes).
   std::size_t packet_count() const { return packets_ ? packets_->size() : 0; }
 
-  /// Total wire bits of the round's broadcast, metered during assembly.
+  /// Total wire bits of the round's broadcast, metered during assembly (or
+  /// carried over exactly on the reuse/delta paths).
   std::size_t packet_bits() const { return packet_bits_; }
 
+  /// Reuse effectiveness, counted (cumulative over the context's lifetime).
+  struct Counters {
+    std::size_t node_state_lists_reused = 0;  ///< Lists kept by handle.
+    std::size_t packets_copied = 0;    ///< Packets copied on delta rounds.
+    std::size_t packets_rebuilt = 0;   ///< Packets rebuilt on delta rounds.
+    std::size_t scratch_reuses = 0;    ///< Round buffers refilled in place.
+  };
+  const Counters& counters() const { return counters_; }
+
  private:
+  /// Publishes `assembled` (node-ascending, with aligned bits/nodes arrays)
+  /// as the round's broadcast in canonical sender order.
+  void publish_sorted(std::vector<InfoPacket> assembled,
+                      std::vector<std::size_t> bits,
+                      std::vector<NodeId> nodes);
+
   NodeRobots index_;
+  NodeRobots prev_index_;  ///< Double buffer: last round's index.
+  bool first_round_ = true;
+
   std::vector<std::shared_ptr<const std::vector<StateHandle>>> node_states_;
+  std::vector<NodeId> changed_nodes_;
+  bool occupancy_changed_ = true;
+  std::uint64_t conf_digest_ = 0;
+
   std::shared_ptr<const std::vector<InfoPacket>> packets_;
+  std::shared_ptr<const std::vector<InfoPacket>> prev_packets_;
+  /// Wire bits / sender node of each packet, aligned to packets_ order (and
+  /// the prev_ pair to prev_packets_). Only maintained on untampered
+  /// broadcasts -- the delta paths' sources.
+  std::vector<std::size_t> packet_bits_each_, prev_packet_bits_each_;
+  std::vector<NodeId> packet_nodes_, prev_packet_nodes_;
   std::size_t packet_bits_ = 0;
+  std::size_t prev_packet_bits_ = 0;
+
+  std::vector<std::int32_t> node_to_prev_;  ///< Scratch: node -> prev index.
+  Counters counters_;
 };
 
 }  // namespace dyndisp

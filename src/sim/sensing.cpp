@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <numeric>
 
 #include "util/bits.h"
 #include "util/parallel.h"
@@ -66,25 +67,24 @@ std::vector<InfoPacket> make_all_packets(const Graph& g,
                                   nullptr, nullptr);
 }
 
-std::vector<InfoPacket> make_all_packets_metered(const Graph& g,
-                                                 const Configuration& conf,
-                                                 bool with_neighborhood,
-                                                 const NodeRobots& index,
-                                                 std::size_t* wire_bits,
-                                                 ThreadPool* pool) {
+std::vector<InfoPacket> make_all_packets_metered(
+    const Graph& g, const Configuration& conf, bool with_neighborhood,
+    const NodeRobots& index, std::size_t* wire_bits, ThreadPool* pool,
+    std::vector<std::size_t>* bits_each, std::vector<NodeId>* nodes_each) {
   g_packet_assemblies.fetch_add(1, std::memory_order_relaxed);
   std::vector<NodeId> senders;
   senders.reserve(conf.occupied_count());
   for (NodeId v = 0; v < conf.node_count(); ++v)
     if (!index[v].empty()) senders.push_back(v);
 
+  const bool meter = wire_bits != nullptr || bits_each != nullptr;
   std::vector<InfoPacket> packets(senders.size());
-  std::vector<std::size_t> bits(wire_bits ? senders.size() : 0);
+  std::vector<std::size_t> bits(meter ? senders.size() : 0);
   const std::size_t k = conf.robot_count();
   const std::size_t n = conf.node_count();
   parallel_for(pool, senders.size(), [&](std::size_t i) {
     packets[i] = make_packet(g, conf, senders[i], with_neighborhood, &index);
-    if (wire_bits) bits[i] = packet_bit_size(packets[i], k, n);
+    if (meter) bits[i] = packet_bit_size(packets[i], k, n);
   });
   if (wire_bits) {
     std::size_t total = 0;
@@ -93,12 +93,23 @@ std::vector<InfoPacket> make_all_packets_metered(const Graph& g,
   }
   // Assembly order is node-ascending; re-sort by sender ID for a canonical
   // order that does not leak node identities. Senders are unique (one packet
-  // per node over disjoint robot sets), so the order is deterministic.
-  std::sort(packets.begin(), packets.end(),
-            [](const InfoPacket& a, const InfoPacket& b) {
-              return a.sender < b.sender;
-            });
-  return packets;
+  // per node over disjoint robot sets), so the order is deterministic. The
+  // optional per-packet ledgers are permuted identically so they stay
+  // aligned to the published order.
+  std::vector<std::size_t> order(packets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return packets[a].sender < packets[b].sender;
+  });
+  std::vector<InfoPacket> sorted(packets.size());
+  if (bits_each) bits_each->resize(packets.size());
+  if (nodes_each) nodes_each->resize(packets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted[i] = std::move(packets[order[i]]);
+    if (bits_each) (*bits_each)[i] = bits[order[i]];
+    if (nodes_each) (*nodes_each)[i] = senders[order[i]];
+  }
+  return sorted;
 }
 
 std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "robots/configuration.h"
 #include "sim/info_packet.h"
+#include "sim/reuse_hints.h"
 #include "util/types.h"
 
 namespace dyndisp {
@@ -77,6 +78,12 @@ struct RobotView {
   /// robot would make every round Theta(k^2) in packet volume).
   std::shared_ptr<const std::vector<InfoPacket>> shared_packets;
 
+  /// Cross-round reuse hints for the shared packet set (filled by the
+  /// engine, like arrival_port; invalid in bare make_view results). Caching
+  /// algorithm layers key cross-round structure reuse on these; the default
+  /// invalid hints always take the uncached path.
+  ReuseHints reuse;
+
   /// The packet set (empty when local communication is in effect).
   const std::vector<InfoPacket>& packets() const {
     static const std::vector<InfoPacket> kEmpty;
@@ -108,17 +115,21 @@ std::vector<InfoPacket> make_all_packets(const Graph& g,
 /// per-node packet construction across `pool` when one is supplied. Output
 /// is identical to make_all_packets at any thread count: packets are built
 /// into sender-unique slots and canonically re-sorted by sender ID.
-std::vector<InfoPacket> make_all_packets_metered(const Graph& g,
-                                                 const Configuration& conf,
-                                                 bool with_neighborhood,
-                                                 const NodeRobots& index,
-                                                 std::size_t* wire_bits,
-                                                 ThreadPool* pool = nullptr);
+/// When `bits_each` / `nodes_each` are non-null they receive each packet's
+/// wire bits / sender node, aligned to the returned (sorted) packet order --
+/// the per-packet ledger delta reassembly copies from.
+std::vector<InfoPacket> make_all_packets_metered(
+    const Graph& g, const Configuration& conf, bool with_neighborhood,
+    const NodeRobots& index, std::size_t* wire_bits, ThreadPool* pool = nullptr,
+    std::vector<std::size_t>* bits_each = nullptr,
+    std::vector<NodeId>* nodes_each = nullptr);
 
-/// Process-wide count of broadcast assemblies (make_all_packets and
-/// make_all_packets_metered calls). Test hook: the engine must assemble the
-/// broadcast exactly once per executed round, so for a non-probing adversary
-/// the delta across a run equals the number of rounds executed.
+/// Process-wide count of FULL broadcast assemblies (make_all_packets and
+/// make_all_packets_metered calls). Test hook: the engine assembles the
+/// broadcast at most once per executed round. With the delta-aware round
+/// loop enabled (EngineOptions::structure_cache), reuse and delta rounds do
+/// not count as assemblies -- tests pinning assemblies == rounds must run
+/// with structure_cache off.
 std::size_t packet_assembly_count();
 
 /// Wire size of one packet in bits, for the communication-cost metric:

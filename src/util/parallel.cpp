@@ -81,7 +81,8 @@ void ThreadPool::for_each(std::size_t count,
 
 void parallel_for(ThreadPool* pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  if (pool == nullptr || pool->thread_count() == 1) {
+  if (pool == nullptr || pool->thread_count() == 1 ||
+      count < kParallelForSerialCutoff) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

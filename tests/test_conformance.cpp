@@ -17,6 +17,9 @@
 
 #include "campaign/registry.h"
 #include "dynamic/dynamic_graph.h"
+#include "dynamic/scripted_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "dynamic/t_interval_adversary.h"
 #include "dynamic/validator.h"
 #include "robots/placement.h"
 #include "sim/engine.h"
@@ -61,6 +64,109 @@ TEST_P(AdversaryConformance, EveryEmittedGraphIsValid) {
           << diag;
     }
   }
+}
+
+// Pins the same_as_last() reuse-hint contract for every registered
+// adversary, in both modes the engine can operate in:
+//  - always-call mode: whenever the hint is true, the graph next_graph then
+//    returns must be operator==-equal (and fingerprint-equal) to the
+//    previous round's graph;
+//  - skip mode: a second instance with identical seed never calls
+//    next_graph while the hint is true, and the graph it holds must still
+//    track the always-call instance's emissions bit-for-bit (the hint must
+//    survive skipped calls -- the staleness half of the contract).
+TEST_P(AdversaryConformance, SameAsLastHintIsHonest) {
+  const auto& registry = campaign::Registry::instance();
+  const std::string& name = GetParam();
+
+  for (const std::uint64_t seed : {2ull, 9ull}) {
+    auto reference = registry.adversary(name, "random", 12, seed);
+    auto skipper = registry.adversary(name, "random", 12, seed);
+    const std::size_t n = reference->node_count();
+    const std::size_t k = std::max<std::size_t>(2, n / 2);
+    Rng rng(seed * 17 + 3);
+    const Configuration conf = placement::uniform_random(n, k, rng);
+    for (Adversary* adv : {reference.get(), skipper.get()}) {
+      if (adv->wants_plan_probe()) {
+        adv->set_plan_probe(
+            [k](const Graph&) { return MovePlan(k, kInvalidPort); });
+      }
+    }
+
+    Graph prev, held;
+    bool have_prev = false, have_held = false;
+    for (Round r = 0; r < 32; ++r) {
+      const bool hint = reference->same_as_last(r, conf);
+      const Graph emitted = reference->next_graph(r, conf);
+      if (hint) {
+        ASSERT_TRUE(have_prev) << name << " claimed reuse before emitting";
+        ASSERT_EQ(emitted.fingerprint(), prev.fingerprint())
+            << name << " seed " << seed << " round " << r;
+        ASSERT_TRUE(emitted == prev)
+            << name << " seed " << seed << " round " << r;
+      }
+      prev = emitted;
+      have_prev = true;
+
+      if (skipper->same_as_last(r, conf)) {
+        ASSERT_TRUE(have_held) << name << " claimed reuse before emitting";
+      } else {
+        held = skipper->next_graph(r, conf);
+        have_held = true;
+      }
+      ASSERT_EQ(held.fingerprint(), emitted.fingerprint())
+          << name << " seed " << seed << " round " << r
+          << ": skip-mode graph diverged";
+      ASSERT_TRUE(held == emitted)
+          << name << " seed " << seed << " round " << r
+          << ": skip-mode graph diverged";
+    }
+  }
+}
+
+TEST(SameAsLast, StaticClaimsReuseOnlyAfterFirstEmission) {
+  StaticAdversary adv(Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}));
+  const Configuration conf(4, {0, 1});
+  EXPECT_FALSE(adv.same_as_last(0, conf));
+  adv.next_graph(0, conf);
+  EXPECT_TRUE(adv.same_as_last(1, conf));
+  EXPECT_TRUE(adv.same_as_last(100, conf));
+}
+
+TEST(SameAsLast, StaticPortShuffleNeverClaimsReuse) {
+  StaticAdversary adv(Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}),
+                      /*reshuffle_ports=*/true, /*seed=*/5);
+  const Configuration conf(4, {0, 1});
+  adv.next_graph(0, conf);
+  EXPECT_FALSE(adv.same_as_last(1, conf));
+}
+
+TEST(SameAsLast, TIntervalClaimsInsideWindowOnly) {
+  auto inner = std::make_unique<StaticAdversary>(
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}));
+  TIntervalAdversary adv(std::move(inner), /*t=*/3);
+  const Configuration conf(4, {0, 1});
+  EXPECT_FALSE(adv.same_as_last(0, conf));
+  adv.next_graph(0, conf);
+  EXPECT_TRUE(adv.same_as_last(1, conf));
+  EXPECT_TRUE(adv.same_as_last(2, conf));
+  EXPECT_FALSE(adv.same_as_last(3, conf));  // window boundary: consult inner
+}
+
+TEST(SameAsLast, ScriptedHonorsRepeatedLinesAndHorizon) {
+  const Graph a = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(3, {{0, 2}, {1, 2}});
+  ScriptedAdversary adv({a, a, b, b});
+  const Configuration conf(3, {0, 1});
+  EXPECT_FALSE(adv.same_as_last(0, conf));
+  adv.next_graph(0, conf);
+  EXPECT_TRUE(adv.same_as_last(1, conf));   // identical script line
+  EXPECT_FALSE(adv.same_as_last(2, conf));  // a -> b
+  adv.next_graph(2, conf);
+  EXPECT_TRUE(adv.same_as_last(3, conf));
+  // Past the horizon the script repeats its last graph forever -- even when
+  // the engine skipped the intermediate calls (stale last_idx_).
+  EXPECT_TRUE(adv.same_as_last(1000, conf));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -190,5 +190,160 @@ TEST(Graph, EqualityDetectsPortDifferences) {
   EXPECT_FALSE(a == b);  // same topology, different port labels
 }
 
+// Recomputes the fingerprint from scratch via the edges() round-trip; the
+// incremental accumulator must agree after any mutation sequence.
+std::uint64_t recomputed_fingerprint(const Graph& g) {
+  return Graph::from_port_edges(g.node_count(), g.edges()).fingerprint();
+}
+
+TEST(GraphFingerprint, EmptyGraphsDifferByNodeCount) {
+  EXPECT_NE(Graph(3).fingerprint(), Graph(4).fingerprint());
+  EXPECT_EQ(Graph(3).fingerprint(), Graph(3).fingerprint());
+}
+
+TEST(GraphFingerprint, EqualGraphsEqualFingerprints) {
+  const Graph a = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph b = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(GraphFingerprint, PortLabelsAreFingerprinted) {
+  // Same topology, different port order at node 0.
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  a.add_edge(0, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(GraphFingerprint, InsertionOrderIrrelevantWhenPortsMatch) {
+  // from_port_edges pins explicit ports, so listing edges in any order must
+  // reach the same accumulator value.
+  const std::vector<Graph::Edge> fwd = {{0, 1, 1, 1}, {1, 2, 2, 1}};
+  const std::vector<Graph::Edge> rev = {{1, 2, 2, 1}, {0, 1, 1, 1}};
+  EXPECT_EQ(Graph::from_port_edges(3, fwd).fingerprint(),
+            Graph::from_port_edges(3, rev).fingerprint());
+}
+
+TEST(GraphFingerprint, IncrementalMatchesRecomputeAcrossMutations) {
+  Rng rng(1234);
+  Graph g = Graph::from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}});
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+
+  g.add_edge(0, 4);
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+  g.add_edge(1, 5);
+  g.add_edge(2, 6);
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+
+  // Remove a middle-port edge so compaction shifts later ports.
+  ASSERT_TRUE(g.remove_edge(0, 7));
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+  ASSERT_TRUE(g.remove_edge(1, 5));
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+
+  g.permute_ports(0, {1, 0});
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+  g.shuffle_ports(rng);
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+
+  g.rewire_edge(2, 3, 7, 0);
+  EXPECT_EQ(g.fingerprint(), recomputed_fingerprint(g));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphFingerprint, RandomizedMutationChurnStaysInSync) {
+  Rng rng(77);
+  Graph g(12);
+  for (int step = 0; step < 400; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.below(12));
+    const NodeId v = static_cast<NodeId>(rng.below(12));
+    if (u == v) continue;
+    if (g.has_edge(u, v)) {
+      g.remove_edge(u, v);
+    } else {
+      g.add_edge(u, v);
+    }
+    if (step % 7 == 0) g.shuffle_ports(rng);
+    ASSERT_EQ(g.fingerprint(), recomputed_fingerprint(g)) << "step " << step;
+  }
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphDelta, IdenticalGraphsAreEmpty) {
+  const Graph a = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  const Graph::Delta d = a.delta(b);
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(d.added.empty());
+  EXPECT_TRUE(d.removed.empty());
+}
+
+TEST(GraphDelta, NodeCountMismatchShortCircuits) {
+  const Graph::Delta d = Graph(3).delta(Graph(4));
+  EXPECT_TRUE(d.node_count_changed);
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(d.changed_nodes.empty());
+}
+
+TEST(GraphDelta, AddedEdgeReportsBothEndpoints) {
+  const Graph prev = Graph::from_edges(4, {{0, 1}});
+  Graph next = prev;
+  next.add_edge(2, 3);
+  const Graph::Delta d = next.delta(prev);
+  EXPECT_EQ(d.changed_nodes, (std::vector<NodeId>{2, 3}));
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], (Graph::Edge{2, 3, 1, 1}));
+  EXPECT_TRUE(d.removed.empty());
+}
+
+TEST(GraphDelta, RemovalWithPortCompactionReportsRelabels) {
+  Graph prev(4);
+  prev.add_edge(0, 1);
+  prev.add_edge(0, 2);
+  prev.add_edge(0, 3);
+  Graph next = prev;
+  next.remove_edge(0, 2);
+  const Graph::Delta d = next.delta(prev);
+  // Node 0 lost an edge and node 3's edge moved from port 3 to port 2 at 0,
+  // which relabels that surviving edge (one removed + one added entry).
+  EXPECT_EQ(d.changed_nodes, (std::vector<NodeId>{0, 2, 3}));
+  ASSERT_EQ(d.removed.size(), 2u);
+  EXPECT_EQ(d.removed[0], (Graph::Edge{0, 2, 2, 1}));
+  EXPECT_EQ(d.removed[1], (Graph::Edge{0, 3, 3, 1}));
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], (Graph::Edge{0, 3, 2, 1}));
+}
+
+TEST(GraphDelta, PortPermutationIsRelabelNotTopologyChange) {
+  Graph prev(3);
+  prev.add_edge(0, 1);
+  prev.add_edge(0, 2);
+  Graph next = prev;
+  next.permute_ports(0, {1, 0});
+  const Graph::Delta d = next.delta(prev);
+  // Ports at 0 swapped: both neighbors' reverse ports change too.
+  EXPECT_EQ(d.changed_nodes, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(d.added.size(), 2u);
+  EXPECT_EQ(d.removed.size(), 2u);
+  EXPECT_EQ(next.edge_count(), prev.edge_count());
+}
+
+TEST(GraphDelta, DeltaIntoReusesStorage) {
+  const Graph prev = Graph::from_edges(4, {{0, 1}});
+  Graph next = prev;
+  next.add_edge(1, 2);
+  Graph::Delta d;
+  d.changed_nodes = {9, 9, 9};  // stale contents must be cleared
+  d.node_count_changed = true;
+  next.delta_into(prev, d);
+  EXPECT_FALSE(d.node_count_changed);
+  EXPECT_EQ(d.changed_nodes, (std::vector<NodeId>{1, 2}));
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], (Graph::Edge{1, 2, 2, 1}));
+}
+
 }  // namespace
 }  // namespace dyndisp

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "baselines/blind_walk.h"
@@ -108,6 +111,37 @@ TEST(ParallelFor, NullPoolRunsSequentiallyInOrder) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(ParallelFor, SerialBelowCutoffFansOutAtCutoff) {
+  // The small-problem guard: one item below the cutoff the whole loop runs
+  // on the calling thread; at the cutoff it fans out over the pool. The
+  // decision is a pure function of count, so both observations are exact,
+  // not flaky.
+  ThreadPool pool(4);
+  const auto distinct_threads = [&](std::size_t count) {
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    parallel_for(&pool, count, [&](std::size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+    return ids.size();
+  };
+  EXPECT_EQ(distinct_threads(kParallelForSerialCutoff - 1), 1u);
+  EXPECT_GT(distinct_threads(kParallelForSerialCutoff), 1u);
+}
+
+TEST(ParallelFor, ForEachIgnoresTheCutoff) {
+  // Callers that want the fan-out regardless of size use the pool directly.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.for_each(kParallelForSerialCutoff / 2, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
 // ---- Engine determinism across thread counts ----
 
 void expect_identical(const RunResult& a, const RunResult& b,
@@ -166,6 +200,31 @@ TEST(ThreadDeterminism, AllTableOneModelRows) {
   }
 }
 
+TEST(ThreadDeterminism, StraddlesTheSerialCutoff) {
+  // The engine's compute phase dispatches one work item per robot, so k
+  // relative to kParallelForSerialCutoff decides whether a threaded run
+  // actually fans out or silently takes the serial path. Pin bitwise
+  // identity on BOTH sides of that edge: k just below the cutoff (serial
+  // even with a pool) and k just above it (a real fan-out).
+  auto run_sized = [](std::size_t k, std::size_t threads) {
+    const std::size_t n = 2 * k;
+    RandomAdversary adv(n, n / 3, 13);
+    EngineOptions opt;
+    opt.threads = threads;
+    opt.max_rounds = 4 * k;
+    Engine engine(adv, placement::rooted(n, k),
+                  core::dispersion_factory_memoized(), opt);
+    return engine.run();
+  };
+  for (const std::size_t k :
+       {kParallelForSerialCutoff - 8, kParallelForSerialCutoff + 8}) {
+    const RunResult serial = run_sized(k, 1);
+    expect_identical(serial, run_sized(k, 4),
+                     k < kParallelForSerialCutoff ? "below cutoff"
+                                                  : "above cutoff");
+  }
+}
+
 TEST(ThreadDeterminism, ProbeDrivenTrapAdversary) {
   // The path trap dry-runs cloned robots against candidate graphs through
   // Engine::probe_plan, which shares the round's state snapshots and the
@@ -192,11 +251,14 @@ TEST(ThreadDeterminism, ProbeDrivenTrapAdversary) {
 
 TEST(RoundPipeline, PacketsAssembledExactlyOncePerRound) {
   // RandomAdversary never probes, so the only assemblies are the per-round
-  // broadcasts: the global counter must advance by exactly r.rounds.
+  // broadcasts: the global counter must advance by exactly r.rounds. The
+  // delta-aware loop replaces some assemblies with reuse/delta rounds, so
+  // the exactly-once pin is stated against the loop it describes: cache off.
   const std::size_t n = 36, k = 24;
   RandomAdversary adv(n, n / 3, 7);
   EngineOptions opt;
   opt.max_rounds = 200;
+  opt.structure_cache = false;
   Engine engine(adv, placement::rooted(n, k),
                 core::dispersion_factory_memoized(), opt);
   const std::size_t before = packet_assembly_count();
