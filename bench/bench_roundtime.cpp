@@ -1,25 +1,38 @@
 // Round-time perf harness: wall-clock cost of simulating Algorithm 4 per
 // robot-round, across adversaries, scales, compute-phase thread counts, and
-// the delta-aware structure cache (on vs off). Unlike the theorem benches
-// this one makes no claim about the paper -- it tracks the ENGINE, so perf
-// regressions in the round hot path (packet assembly, state serialization,
-// planning, cross-round reuse) show up as a number a CI job or a human can
-// diff across commits. `--json` writes BENCH_roundtime.json, a
-// machine-readable sibling of the ASCII table (schema in README.md).
+// the engine's two big round-loop switches -- the delta-aware structure
+// cache and the struct-of-arrays round core (EngineOptions::soa). Unlike
+// the theorem benches this one makes no claim about the paper -- it tracks
+// the ENGINE, so perf regressions in the round hot path (packet assembly,
+// state serialization, planning, cross-round reuse, view materialization)
+// show up as a number a CI job or a human can diff across commits. `--json`
+// writes BENCH_roundtime.json, a machine-readable sibling of the ASCII
+// table (schema in README.md).
 //
 // The adversary set spans the reuse spectrum: `random` / `star-star` /
 // `ring-worst` rewire every round (the cache can at best break even there),
 // while `static`, `t-interval`, and `scripted` replay graphs across rounds,
-// which is where the delta-aware loop earns its keep.
+// which is where the delta-aware loop earns its keep. A mega-scale section
+// (random adversary, random placement, k up to 10^5) exercises the regime
+// the SoA core was built for.
 //
 //   bench_roundtime [--json] [--out=FILE] [--threads=1,8] [--reps=N]
-//                   [--smoke] [--validate=FILE]
+//                   [--smoke] [--validate[=FILE]]
 //
-// `--smoke` shrinks the sweep to one tiny size per adversary (CI-friendly:
-// seconds, not minutes). `--validate=FILE` parses a previously written JSON
-// file, checks it against schema v2 (field presence/types, cache on/off
-// pairing, reuse counters nonzero on the replay-heavy rows), and exits --
-// no timing assertions, so it is safe on loaded CI machines.
+// Each (adversary, k, threads) tuple runs a trio of engine paths -- both
+// toggles on (the default engine), cache off, and soa off -- so every
+// switch is diffed against the full default. `--smoke` shrinks the sweep to
+// one tiny size per adversary plus the k=4096 mega row (CI-friendly:
+// seconds, not minutes). Bare `--validate` checks, after the sweep, that
+// every tuple's engine paths agreed on all round observables
+// (robot_rounds, rounds, packet_mbits, dispersed) -- the two toggles claim
+// bitwise identity, and this is that claim at bench scale.
+// `--validate=FILE` parses a previously written JSON file, checks it
+// against schema v3 (field presence/types, soa on/off pairing, per-tuple
+// observable identity, reuse counters nonzero on the replay-heavy rows),
+// and exits -- no timing assertions, so it is safe on loaded CI machines.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -45,7 +58,7 @@ namespace {
 
 using namespace dyndisp;
 
-constexpr std::uint64_t kSchemaVersion = 2;
+constexpr std::uint64_t kSchemaVersion = 3;
 constexpr std::uint64_t kSeed = 11;
 
 struct Row {
@@ -54,12 +67,14 @@ struct Row {
   std::size_t n = 0;
   std::size_t threads = 1;
   bool structure_cache = true;
+  bool soa = true;
   Round rounds = 0;
   bool dispersed = false;
   std::uint64_t robot_rounds = 0;
   double wall_ms = 0;
   double robot_rounds_per_sec = 0;
   double packet_mbits = 0;
+  double peak_rss_mb = 0;
   RoundLoopStats stats;
 };
 
@@ -84,6 +99,22 @@ constexpr AdversarySpec kSpecs[] = {
     {"scripted", "rooted", 3, 1, true},
 };
 
+/// The mega-scale section: the random adversary rewires every round, the
+/// random placement scatters robots so the first rounds carry giant
+/// components, and k reaches the 10^5 regime the SoA core targets.
+/// Runs at threads=1 only -- the headline claim is single-threaded.
+constexpr AdversarySpec kMegaSpec = {"random", "random", 3, 2, false};
+
+/// Process-wide peak RSS in MB. Monotone high-water mark for the WHOLE
+/// process, so within one bench invocation only the first row to touch a
+/// new peak moves it; it is recorded per row as an upper bound and is
+/// meaningful mainly on the mega rows, which dwarf everything before them.
+double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
+}
+
 std::unique_ptr<Adversary> make_adversary(const std::string& name,
                                           std::size_t n) {
   const campaign::Registry& registry = campaign::Registry::instance();
@@ -105,12 +136,13 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name,
 }
 
 Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
-        bool structure_cache, std::size_t reps) {
+        bool structure_cache, bool soa, std::size_t reps) {
   Row row;
   row.adversary = spec.name;
   row.k = k;
   row.threads = threads;
   row.structure_cache = structure_cache;
+  row.soa = soa;
   // Median-free but repeatable: take the best of `reps` runs so a one-off
   // scheduler hiccup does not masquerade as a regression.
   for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -124,6 +156,7 @@ Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
     opt.max_rounds = 10 * k;
     opt.threads = threads;
     opt.structure_cache = structure_cache;
+    opt.soa = soa;
     Engine engine(*adv, std::move(initial),
                   core::dispersion_factory_memoized(), opt);
     const auto t0 = std::chrono::steady_clock::now();
@@ -139,6 +172,7 @@ Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
     row.packet_mbits = static_cast<double>(r.packet_bits_sent) / 1e6;
     row.stats = r.stats;  // identical every rep (deterministic loop)
   }
+  row.peak_rss_mb = peak_rss_mb();
   row.robot_rounds_per_sec =
       row.wall_ms > 0 ? 1000.0 * static_cast<double>(row.robot_rounds) /
                             row.wall_ms
@@ -183,12 +217,14 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
     w.member("n", static_cast<std::uint64_t>(r.n));
     w.member("threads", static_cast<std::uint64_t>(r.threads));
     w.member("structure_cache", r.structure_cache);
+    w.member("soa", r.soa);
     w.member("rounds", static_cast<std::uint64_t>(r.rounds));
     w.member("dispersed", r.dispersed);
     w.member("robot_rounds", r.robot_rounds);
     w.member("wall_ms", r.wall_ms);
     w.member("robot_rounds_per_sec", r.robot_rounds_per_sec);
     w.member("packet_mbits", r.packet_mbits);
+    w.member("peak_rss_mb", r.peak_rss_mb);
     w.member("graph_reuses", static_cast<std::uint64_t>(r.stats.graph_reuses));
     w.member("validations_skipped",
              static_cast<std::uint64_t>(r.stats.validations_skipped));
@@ -202,6 +238,12 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
              static_cast<std::uint64_t>(r.stats.packets_rebuilt));
     w.member("sc_exact_hits", r.stats.sc_exact_hits);
     w.member("sc_components_reused", r.stats.sc_components_reused);
+    w.member("soa_rounds", static_cast<std::uint64_t>(r.stats.soa_rounds));
+    w.member("arena_views", static_cast<std::uint64_t>(r.stats.arena_views));
+    w.member("state_list_rounds_skipped",
+             static_cast<std::uint64_t>(r.stats.state_list_rounds_skipped));
+    w.member("before_copies_skipped",
+             static_cast<std::uint64_t>(r.stats.before_copies_skipped));
     w.end_object();
   }
   w.end_array();
@@ -209,11 +251,57 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
   out << '\n';
 }
 
-// ---- --validate=FILE: schema v2 checks, no timing assertions ----
-
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("validate: " + what);
 }
+
+// ---- bare --validate: cross-path identity over the rows just produced ----
+
+/// Checks that within every (adversary, k, threads) tuple, every engine
+/// path (the (cache, soa) corners) observed the identical run: same
+/// robot_rounds, rounds, packet_mbits, dispersed. Throws on the first
+/// divergence -- a mismatch means a "pure optimization" changed behavior.
+void validate_rows(const std::vector<Row>& rows) {
+  struct Observed {
+    const Row* first = nullptr;
+  };
+  std::map<std::string, Observed> tuples;
+  for (const Row& row : rows) {
+    const std::string tuple = row.adversary + "/k=" + std::to_string(row.k) +
+                              "/t=" + std::to_string(row.threads);
+    Observed& obs = tuples[tuple];
+    if (obs.first == nullptr) {
+      obs.first = &row;
+      continue;
+    }
+    const Row& a = *obs.first;
+    const auto corner = [](const Row& r) {
+      return std::string(r.structure_cache ? "cache=on" : "cache=off") +
+             (r.soa ? ",soa=on" : ",soa=off");
+    };
+    const auto diverged = [&](const char* what, const std::string& va,
+                              const std::string& vb) {
+      fail(tuple + ": " + what + " diverged across engine paths (" +
+           corner(a) + ": " + va + " | " + corner(row) + ": " + vb + ")");
+    };
+    if (a.robot_rounds != row.robot_rounds)
+      diverged("robot_rounds", std::to_string(a.robot_rounds),
+               std::to_string(row.robot_rounds));
+    if (a.rounds != row.rounds)
+      diverged("rounds", std::to_string(a.rounds), std::to_string(row.rounds));
+    if (a.packet_mbits != row.packet_mbits)
+      diverged("packet_mbits", std::to_string(a.packet_mbits),
+               std::to_string(row.packet_mbits));
+    if (a.dispersed != row.dispersed)
+      diverged("dispersed", std::to_string(a.dispersed),
+               std::to_string(row.dispersed));
+  }
+  std::printf("validate: %zu tuples, every engine path agreed on all round "
+              "observables\n",
+              tuples.size());
+}
+
+// ---- --validate=FILE: schema v3 checks, no timing assertions ----
 
 const JsonValue& req(const JsonValue& obj, const std::string& key) {
   const JsonValue* v = obj.find(key);
@@ -221,7 +309,7 @@ const JsonValue& req(const JsonValue& obj, const std::string& key) {
   return *v;
 }
 
-int validate(const std::string& path) {
+int validate_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) fail("cannot open " + path);
   std::stringstream buffer;
@@ -239,23 +327,61 @@ int validate(const std::string& path) {
       "k", "n", "threads", "rounds", "robot_rounds",
       "graph_reuses", "validations_skipped", "broadcasts_reused",
       "broadcast_deltas", "packets_copied", "packets_rebuilt",
-      "sc_exact_hits", "sc_components_reused"};
+      "sc_exact_hits", "sc_components_reused", "soa_rounds", "arena_views",
+      "state_list_rounds_skipped", "before_copies_skipped"};
   static const char* const kNumbers[] = {"wall_ms", "robot_rounds_per_sec",
-                                         "packet_mbits"};
-  // (adversary, k, threads) -> bitmask of cache settings seen (1 = off,
-  // 2 = on); every tuple must appear with the cache both on and off.
-  std::map<std::string, unsigned> cache_sides;
+                                         "packet_mbits", "peak_rss_mb"};
+  /// Per (adversary, k, threads) tuple: which soa sides appeared (1 = off,
+  /// 2 = on; both are required) and the observables every engine path must
+  /// agree on.
+  struct Tuple {
+    unsigned soa_sides = 0;
+    bool seen = false;
+    std::uint64_t robot_rounds = 0;
+    std::uint64_t rounds = 0;
+    double packet_mbits = 0;
+    bool dispersed = false;
+  };
+  std::map<std::string, Tuple> tuples;
   for (const JsonValue& row : rows) {
     const std::string adversary = req(row, "adversary").as_string();
     for (const char* key : kUints) (void)req(row, key).as_uint();
     for (const char* key : kNumbers) (void)req(row, key).as_number();
     (void)req(row, "dispersed").as_bool();
     const bool cache = req(row, "structure_cache").as_bool();
+    const bool soa = req(row, "soa").as_bool();
     const std::string tuple = adversary + "/k=" +
                               std::to_string(req(row, "k").as_uint()) +
                               "/t=" +
                               std::to_string(req(row, "threads").as_uint());
-    cache_sides[tuple] |= cache ? 2u : 1u;
+    Tuple& t = tuples[tuple];
+    t.soa_sides |= soa ? 2u : 1u;
+    // Every engine path of a tuple ran the identical round sequence; the
+    // round observables must say so.
+    if (!t.seen) {
+      t.seen = true;
+      t.robot_rounds = req(row, "robot_rounds").as_uint();
+      t.rounds = req(row, "rounds").as_uint();
+      t.packet_mbits = req(row, "packet_mbits").as_number();
+      t.dispersed = req(row, "dispersed").as_bool();
+    } else if (t.robot_rounds != req(row, "robot_rounds").as_uint() ||
+               t.rounds != req(row, "rounds").as_uint() ||
+               t.packet_mbits != req(row, "packet_mbits").as_number() ||
+               t.dispersed != req(row, "dispersed").as_bool()) {
+      fail(tuple + ": engine paths disagree on round observables");
+    }
+    // The SoA counters must track the path that actually ran.
+    if (soa) {
+      if (req(row, "soa_rounds").as_uint() != req(row, "rounds").as_uint())
+        fail(tuple + ": soa row did not run every round through the arena");
+    } else {
+      for (const char* key : {"soa_rounds", "arena_views",
+                              "state_list_rounds_skipped",
+                              "before_copies_skipped"}) {
+        if (req(row, key).as_uint() != 0)
+          fail(tuple + ": soa-off row has nonzero " + key);
+      }
+    }
     if (!cache) {
       // The rebuild-everything loop must not report reuse it cannot perform.
       for (const char* key : {"graph_reuses", "broadcasts_reused",
@@ -277,10 +403,11 @@ int validate(const std::string& path) {
         fail(tuple + ": reuse-heavy row reused no broadcasts");
     }
   }
-  for (const auto& [tuple, sides] : cache_sides) {
-    if (sides != 3u)
-      fail(tuple + ": missing its cache-" +
-           (sides == 1u ? std::string("on") : std::string("off")) + " row");
+  for (const auto& [tuple, t] : tuples) {
+    if (t.soa_sides != 3u)
+      fail(tuple + ": missing its soa-" +
+           (t.soa_sides == 1u ? std::string("on") : std::string("off")) +
+           " row");
   }
   std::printf("validate: %s ok (%zu rows, schema v%llu)\n", path.c_str(),
               rows.size(),
@@ -288,11 +415,17 @@ int validate(const std::string& path) {
   return 0;
 }
 
+/// The engine paths each tuple runs: both toggles on (the default engine),
+/// then each toggle off alone, so every switch is diffed against the full
+/// default. (cache, soa) pairs.
+constexpr std::pair<bool, bool> kCorners[] = {
+    {true, true}, {false, true}, {true, false}};
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   CliArgs args(argc, argv);
-  const std::string validate_path = args.get("validate", "");
+  const std::string validate_arg = args.get("validate", "");
   const bool json = args.get_bool("json", false);
   const std::string out_path = args.get("out", "BENCH_roundtime.json");
   const std::vector<std::size_t> thread_counts =
@@ -303,43 +436,60 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
     return 2;
   }
-  if (!validate_path.empty()) return validate(validate_path);
+  // Bare `--validate` parses as "true": validate the sweep about to run.
+  // Any other value is a JSON file to check.
+  if (!validate_arg.empty() && validate_arg != "true")
+    return validate_file(validate_arg);
 
   const std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{16}
             : std::vector<std::size_t>{64, 128, 256, 512};
+  const std::vector<std::size_t> mega_sizes =
+      smoke ? std::vector<std::size_t>{4096}
+            : std::vector<std::size_t>{4096, 65536, 100000};
 
   std::printf("== Round-time harness: engine wall-clock per robot-round ==\n");
   bool ok = true;
   std::vector<Row> rows;
-  for (const AdversarySpec& spec : kSpecs) {
-    AsciiTable table({"k", "threads", "cache", "rounds", "wall ms",
-                      "robot-rounds/s", "packet Mbits"});
-    table.set_title(spec.name);
-    for (const std::size_t k : sizes) {
-      for (const std::size_t threads : thread_counts) {
-        double off_rate = 0;
-        for (const bool cache : {false, true}) {
-          const Row row = run(spec, k, threads, cache, reps);
+  const auto sweep = [&](const AdversarySpec& spec, const std::string& title,
+                         const std::vector<std::size_t>& ks,
+                         const std::vector<std::size_t>& threads_list) {
+    AsciiTable table({"k", "threads", "cache", "soa", "rounds", "wall ms",
+                      "robot-rounds/s", "peak RSS MB", "packet Mbits"});
+    table.set_title(title);
+    for (const std::size_t k : ks) {
+      for (const std::size_t threads : threads_list) {
+        double base_rate = 0;  // the both-on default engine's rate
+        for (const auto& [cache, soa] : kCorners) {
+          const Row row = run(spec, k, threads, cache, soa, reps);
           ok &= row.dispersed;
           rows.push_back(row);
           std::string rate = fmt_double(row.robot_rounds_per_sec, 0);
-          if (!cache) {
-            off_rate = row.robot_rounds_per_sec;
-          } else if (off_rate > 0) {
-            rate += " (" +
-                    fmt_double(row.robot_rounds_per_sec / off_rate, 2) + "x)";
+          if (cache && soa) {
+            base_rate = row.robot_rounds_per_sec;
+          } else if (row.robot_rounds_per_sec > 0) {
+            // Speedup the default engine shows over this degraded path.
+            rate += " (x" +
+                    fmt_double(base_rate / row.robot_rounds_per_sec, 2) +
+                    " vs on)";
           }
           table.add_row({std::to_string(row.k), std::to_string(row.threads),
-                         cache ? "on" : "off", std::to_string(row.rounds),
+                         cache ? "on" : "off", soa ? "on" : "off",
+                         std::to_string(row.rounds),
                          fmt_double(row.wall_ms, 1), rate,
+                         fmt_double(row.peak_rss_mb, 0),
                          fmt_double(row.packet_mbits, 2)});
         }
       }
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
-  }
+  };
+  for (const AdversarySpec& spec : kSpecs)
+    sweep(spec, spec.name, sizes, thread_counts);
+  sweep(kMegaSpec, "random (mega-scale, random placement)", mega_sizes, {1});
+
+  if (!validate_arg.empty()) validate_rows(rows);
   if (json) {
     write_json(rows, out_path);
     std::printf("wrote %s (%zu result rows)\n", out_path.c_str(), rows.size());

@@ -10,6 +10,12 @@
 # allowed to differ between runs; everything else in a record is claimed to
 # be a pure function of (spec, seed).
 #
+# A fourth leg re-runs the campaign with the struct-of-arrays round core
+# disabled ("soa": false in the spec) and checks the record SET matches the
+# default (SoA) runs after normalizing the job-id/spec-hash suffix the
+# option adds -- cross-process proof that both engine cores produce the
+# same records.
+#
 # usage: check_determinism.sh <dyndisp_campaign> <spec.json> <work-dir>
 set -eu
 
@@ -30,6 +36,12 @@ run a 1
 run b 1
 run c 4
 
+# Same spec with the SoA round core off ("soa": false spliced in after the
+# opening brace); identity claims are checked below.
+sed '0,/{/s//{ "soa": false,/' "$SPEC" > "$WORK/spec_soa_off.json"
+"$CAMPAIGN_BIN" run "$WORK/spec_soa_off.json" --seeds 2 --threads 1 --quiet \
+  --no-timing --out "$WORK/d" > "$WORK/d.stdout"
+
 # Two independent single-threaded processes: byte-identical, order included.
 cmp "$WORK/a/results.jsonl" "$WORK/b/results.jsonl" || {
   echo "FAIL: threads=1 runs differ byte-for-byte" >&2
@@ -46,6 +58,20 @@ cmp "$WORK/a.sorted" "$WORK/c.sorted" || {
   exit 1
 }
 
+# SoA on (a) vs off (d): same records up to the "|soa=off" id suffix and
+# the spec hash, both of which the option changes by design.
+normalize() {
+  sed -e 's/|soa=off//' -e 's/"spec_hash": "[0-9a-f]*"/"spec_hash": "-"/' \
+    "$1" | sort
+}
+normalize "$WORK/a/results.jsonl" > "$WORK/a.norm"
+normalize "$WORK/d/results.jsonl" > "$WORK/d.norm"
+cmp "$WORK/a.norm" "$WORK/d.norm" || {
+  echo "FAIL: SoA-on and SoA-off record sets differ" >&2
+  diff "$WORK/a.norm" "$WORK/d.norm" | head -10 >&2
+  exit 1
+}
+
 # The aggregate reports must agree too (the aggregator sorts by job index,
 # so this holds whenever the record sets do -- kept as a belt-and-braces
 # check that reporting is order-independent).
@@ -57,4 +83,4 @@ cmp "$WORK/report_a.txt" "$WORK/report_c.txt" || {
 }
 
 records=$(wc -l < "$WORK/a/results.jsonl")
-echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets)"
+echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, soa on==off as sets)"

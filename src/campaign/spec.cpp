@@ -49,6 +49,7 @@ std::string JobSpec::id() const {
   // Appended only when off so default campaigns keep their pre-existing ids
   // (stores resume across this option's introduction).
   if (!structure_cache) out << "|sc=off";
+  if (!soa) out << "|soa=off";
   return out.str();
 }
 
@@ -84,6 +85,7 @@ analysis::TrialSpec make_trial_spec(const JobSpec& job) {
   options.allow_model_mismatch = true;
   options.threads = 1;  // campaign parallelism is across jobs, not robots
   options.structure_cache = job.structure_cache;
+  options.soa = job.soa;
   spec.options = options;
   return spec;
 }
@@ -94,8 +96,8 @@ CampaignSpec CampaignSpec::parse_json(const std::string& text) {
     throw std::invalid_argument("campaign spec must be a JSON object");
 
   static const char* const known_keys[] = {
-      "name", "axes",      "family",    "placement",      "groups",
-      "seeds", "base_seed", "max_rounds", "structure_cache"};
+      "name",  "axes",      "family",     "placement",       "groups",
+      "seeds", "base_seed", "max_rounds", "structure_cache", "soa"};
   for (const auto& [key, value] : doc.members()) {
     bool known = false;
     for (const char* k : known_keys) known |= key == k;
@@ -144,6 +146,7 @@ CampaignSpec CampaignSpec::parse_json(const std::string& text) {
     spec.max_rounds_ = v->as_uint();
   if (const JsonValue* v = doc.find("structure_cache"))
     spec.structure_cache_ = v->as_bool();
+  if (const JsonValue* v = doc.find("soa")) spec.soa_ = v->as_bool();
   if (spec.seeds_ == 0)
     throw std::invalid_argument("\"seeds\" must be at least 1");
 
@@ -215,6 +218,7 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                 job.max_rounds = max_rounds_;
                 job.seed = base_seed_ + s;
                 job.structure_cache = structure_cache_;
+                job.soa = soa_;
                 jobs.push_back(std::move(job));
               }
   return jobs;
@@ -242,6 +246,7 @@ std::string CampaignSpec::canonical() const {
   // Appended only when off: existing campaigns (all default) keep their hash
   // across this option's introduction.
   if (!structure_cache_) out << ";sc=off";
+  if (!soa_) out << ";soa=off";
   return out.str();
 }
 

@@ -20,7 +20,8 @@
 //     "seeds":     10,                    // trials per tuple [1]
 //     "base_seed": 1,                     // first seed [1]
 //     "max_rounds": 0,                    // 0 = 100*k (dyndisp_sim default)
-//     "structure_cache": true             // delta-aware round loop [true]
+//     "structure_cache": true,            // delta-aware round loop [true]
+//     "soa": true                         // struct-of-arrays round core [true]
 //   }
 //
 // Every name is validated against the campaign registry at parse time, so a
@@ -56,6 +57,9 @@ struct JobSpec {
   /// EngineOptions::structure_cache for the job (spec key "structure_cache";
   /// the delta-aware round loop is on by default).
   bool structure_cache = true;
+  /// EngineOptions::soa for the job (spec key "soa"; the struct-of-arrays
+  /// round core is on by default).
+  bool soa = true;
 
   /// Canonical id, e.g. "alg4|random|n=20|k=12|comm=default|f=0|seed=3"
   /// (+ "|sc=off" when the structure cache is disabled). Uniquely
@@ -130,6 +134,7 @@ class CampaignSpec {
   std::uint64_t base_seed_ = 1;
   Round max_rounds_ = 0;
   bool structure_cache_ = true;
+  bool soa_ = true;
 };
 
 }  // namespace dyndisp::campaign

@@ -43,6 +43,16 @@ DiffReport diff_structure_cache(const TrialConfig& config,
   return compare("structure-cache", "cache=on", cached, "cache=off", uncached);
 }
 
+DiffReport diff_soa(const TrialConfig& config, const Toolbox& toolbox) {
+  TrialConfig on = config;
+  on.soa = true;
+  TrialConfig off = config;
+  off.soa = false;
+  const RunResult flat = run_plain(on, toolbox, config.threads);
+  const RunResult legacy = run_plain(off, toolbox, config.threads);
+  return compare("soa", "soa=on", flat, "soa=off", legacy);
+}
+
 DiffReport diff_construction(const TrialConfig& config) {
   // Leg A: the campaign path, exactly as the scheduler drives it.
   campaign::JobSpec job;
@@ -58,6 +68,7 @@ DiffReport diff_construction(const TrialConfig& config) {
   job.max_rounds = config.max_rounds;
   job.seed = config.seed;
   job.structure_cache = config.structure_cache;
+  job.soa = config.soa;
   analysis::TrialSpec spec = campaign::make_trial_spec(job);
   spec.options.record_progress = true;
   const RunResult via_campaign = analysis::run_trial(spec, job.seed);
@@ -88,6 +99,7 @@ DiffReport diff_construction(const TrialConfig& config) {
   options.allow_model_mismatch = true;
   options.record_progress = true;
   options.structure_cache = config.structure_cache;
+  options.soa = config.soa;
   Engine engine(*adversary, std::move(initial), algo.factory, options,
                 std::move(schedule));
   const RunResult via_sim = engine.run();

@@ -1,7 +1,7 @@
 // Differential oracles: the same trial executed two independent ways must
 // produce bitwise-identical results.
 //
-// Three axes are diffed:
+// Four axes are diffed:
 //   * threads      -- the engine's parallel compute phase (threads = N)
 //                     against the fully serial engine (threads = 1). PR 1
 //                     claims bitwise identity at any thread count; this is
@@ -17,6 +17,11 @@
 //                     the cache-off engine that rebuilds everything every
 //                     round. Every reuse path claims bitwise identity; this
 //                     oracle is that claim, executed.
+//   * soa          -- the struct-of-arrays round core (EngineOptions::soa,
+//                     the default: persistent view arena, gated state lists,
+//                     before-copy elision) against the legacy
+//                     allocate-per-round engine. The mega-scale rebuild
+//                     claims bitwise identity; this oracle keeps it honest.
 //
 // "Bitwise identical" means digest_run() equality: every RunResult scalar,
 // the final configuration, and the per-round occupied counts.
@@ -50,5 +55,11 @@ struct DiffReport {
 /// value is ignored: both legs are forced explicitly.
 [[nodiscard]] DiffReport diff_structure_cache(const TrialConfig& config,
                                               const Toolbox& toolbox);
+
+/// Runs `config` with the struct-of-arrays round core on and off (both at
+/// the config's own thread count) and compares digests. The config's own
+/// soa value is ignored: both legs are forced explicitly.
+[[nodiscard]] DiffReport diff_soa(const TrialConfig& config,
+                                  const Toolbox& toolbox);
 
 }  // namespace dyndisp::check

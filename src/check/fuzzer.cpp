@@ -36,6 +36,9 @@ TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
   // The delta-aware round loop is itself a fuzzed axis: half the trials run
   // with it off, so oracle coverage spans both engine loops.
   c.structure_cache = rng.below(2) == 0;
+  // Likewise the struct-of-arrays round core: half the trials exercise the
+  // legacy allocate-per-round engine so the oracles cover both cores.
+  c.soa = rng.below(2) == 0;
   return c;
 }
 
@@ -85,6 +88,14 @@ FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox) {
         if (!cache.ok) {
           violation = Violation{"differential-structure-cache",
                                 out.result.rounds, cache.detail};
+          from_differential = true;
+        }
+      }
+      if (!violation) {
+        const DiffReport soa = diff_soa(config, toolbox);
+        if (!soa.ok) {
+          violation =
+              Violation{"differential-soa", out.result.rounds, soa.detail};
           from_differential = true;
         }
       }

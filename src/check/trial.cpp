@@ -19,6 +19,7 @@ std::string TrialConfig::summary() const {
   if (comm != "default") os << "|comm=" << comm;
   if (max_rounds != 0) os << "|mr=" << max_rounds;
   if (!structure_cache) os << "|sc=off";
+  if (!soa) os << "|soa=off";
   if (!script.empty()) os << "|script=" << script.size();
   return os.str();
 }
@@ -38,6 +39,7 @@ void TrialConfig::write_json(JsonWriter& w) const {
   w.member("max_rounds", static_cast<std::uint64_t>(max_rounds));
   w.member("seed", seed);
   w.member("structure_cache", structure_cache);
+  w.member("soa", soa);
   if (!script.empty())
     w.member("script", ScriptedAdversary::serialize_script(script));
   w.end_object();
@@ -69,6 +71,8 @@ TrialConfig TrialConfig::from_json(const JsonValue& doc) {
     else if (key == "seed") c.seed = value.as_uint();
     // Absent in pre-existing repro artifacts -> the default (true).
     else if (key == "structure_cache") c.structure_cache = value.as_bool();
+    // Absent in pre-existing repro artifacts -> the default (true).
+    else if (key == "soa") c.soa = value.as_bool();
     else if (key == "script")
       c.script = ScriptedAdversary::parse_script(value.as_string());
     else
@@ -181,6 +185,7 @@ BuiltTrial build_trial(const TrialConfig& c, const Toolbox& tb,
   b.options.record_progress = true;
   b.options.threads = threads;
   b.options.structure_cache = c.structure_cache;
+  b.options.soa = c.soa;
   return b;
 }
 

@@ -46,6 +46,11 @@ struct TrialConfig {
   /// default everywhere. A fuzzable axis -- the differential suite proves
   /// both values bitwise identical on every drawn trial.
   bool structure_cache = true;
+  /// EngineOptions::soa: the struct-of-arrays round core (persistent view
+  /// arena, gated state lists, before-copy elision), on by default. A
+  /// fuzzable axis like structure_cache -- the differential suite proves
+  /// both values bitwise identical on every drawn trial.
+  bool soa = true;
   std::vector<Graph> script;        ///< Non-empty: scripted replay.
 
   Round effective_max_rounds() const {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <set>
+#include <cstdint>
+#include <numeric>
 
 namespace dyndisp::core {
 
@@ -40,107 +40,235 @@ void ComponentGraph::seal() {
             [](const ComponentNode& a, const ComponentNode& b) {
               return a.name < b.name;
             });
+  edge_offsets_.resize(nodes_.size() + 1);
+  edge_offsets_[0] = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    edge_offsets_[i + 1] =
+        edge_offsets_[i] + static_cast<std::uint32_t>(nodes_[i].edges.size());
+  edge_targets_.resize(edge_offsets_.back());
+  std::size_t t = 0;
+  for (const ComponentNode& n : nodes_) {
+    for (const auto& [port, nb] : n.edges) {
+      const ComponentNode* target = find(nb);
+      edge_targets_[t++] = target != nullptr
+                               ? static_cast<std::uint32_t>(target - nodes_.data())
+                               : kMissingTarget;
+    }
+  }
+}
+
+void ComponentGraph::seal_presorted(std::vector<std::uint32_t> edge_targets) {
+  assert(std::is_sorted(nodes_.begin(), nodes_.end(),
+                        [](const ComponentNode& a, const ComponentNode& b) {
+                          return a.name < b.name;
+                        }));
+  edge_offsets_.resize(nodes_.size() + 1);
+  edge_offsets_[0] = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    edge_offsets_[i + 1] =
+        edge_offsets_[i] + static_cast<std::uint32_t>(nodes_[i].edges.size());
+  assert(edge_targets.size() == edge_offsets_.back());
+  edge_targets_ = std::move(edge_targets);
 }
 
 namespace {
 
-ComponentNode node_from_packet(const InfoPacket& pkt) {
-  ComponentNode node;
-  node.name = pkt.sender;
-  node.count = pkt.count;
-  node.degree = pkt.degree;
-  node.robots = pkt.robots;
-  for (const NeighborInfo& nb : pkt.occupied_neighbors)
-    node.edges.emplace_back(nb.port, nb.min_robot);
-  // Packets list neighbors port-ascending already; keep the invariant
-  // explicit in case a caller hand-builds packets.
-  std::sort(node.edges.begin(), node.edges.end());
-  return node;
-}
 
 /// Sender -> packet index, built once and shared by every component of the
 /// round (the seed rebuilt a std::map per component, which made one round's
-/// component construction O(components * packets * log)).
-using SenderIndex = std::vector<std::pair<RobotId, const InfoPacket*>>;
+/// component construction O(components * packets * log)). The direct-lookup
+/// rank table replaces the per-edge binary search of the first flat version:
+/// component BFS touches every directed edge of the occupied subgraph, and
+/// at k >= 10^5 those lower_bound probes dominated Algorithm 1.
+struct SenderIndex {
+  std::vector<std::pair<RobotId, const InfoPacket*>> entries;
+  std::vector<std::uint32_t> rank_of;  ///< name -> rank; kMissing otherwise.
+
+  static constexpr std::uint32_t kMissing = 0xffffffffu;
+
+  std::size_t size() const { return entries.size(); }
+  const std::pair<RobotId, const InfoPacket*>& operator[](
+      std::size_t rank) const {
+    return entries[rank];
+  }
+};
 
 SenderIndex index_by_sender(const std::vector<InfoPacket>& packets) {
   SenderIndex index;
-  index.reserve(packets.size());
-  for (const InfoPacket& pkt : packets) index.emplace_back(pkt.sender, &pkt);
+  index.entries.reserve(packets.size());
+  RobotId max_sender = 0;
+  for (const InfoPacket& pkt : packets) {
+    index.entries.emplace_back(pkt.sender, &pkt);
+    max_sender = std::max(max_sender, pkt.sender);
+  }
   // Canonical packet sets arrive sender-ascending; hand-built ones may not.
-  if (!std::is_sorted(index.begin(), index.end(),
+  if (!std::is_sorted(index.entries.begin(), index.entries.end(),
                       [](const auto& a, const auto& b) {
                         return a.first < b.first;
                       })) {
-    std::sort(index.begin(), index.end(),
+    std::sort(index.entries.begin(), index.entries.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  if (!packets.empty()) {
+    index.rank_of.assign(static_cast<std::size_t>(max_sender) + 1,
+                         SenderIndex::kMissing);
+    // First occurrence wins, matching lower_bound on (degenerate,
+    // hand-built) sets with duplicate senders.
+    for (std::size_t r = 0; r < index.entries.size(); ++r) {
+      std::uint32_t& slot = index.rank_of[index.entries[r].first];
+      if (slot == SenderIndex::kMissing) slot = static_cast<std::uint32_t>(r);
+    }
   }
   return index;
 }
 
-const InfoPacket* find_sender(const SenderIndex& index, RobotId name) {
-  const auto it = std::lower_bound(
-      index.begin(), index.end(), name,
-      [](const std::pair<RobotId, const InfoPacket*>& e, RobotId x) {
-        return e.first < x;
-      });
-  return (it != index.end() && it->first == name) ? it->second : nullptr;
+/// Dense rank of `name` in the (sorted) index; npos for phantom names.
+constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
+
+std::size_t sender_rank(const SenderIndex& index, RobotId name) {
+  if (name >= index.rank_of.size() ||
+      index.rank_of[name] == SenderIndex::kMissing)
+    return kNoRank;
+  return index.rank_of[name];
 }
+
+/// Scratch for one round's component construction: `visited` flags senders
+/// already queued or absorbed (by dense rank), `frontier` and `members` hold
+/// pending and collected ranks, `local_of` translates a member's rank to its
+/// dense index within the component being materialized. All flat vectors,
+/// reused across the round's components -- the seed's std::set frontier,
+/// whose node allocations and pointer chasing dominated giant-component
+/// rounds at k >= 10^5, is long gone.
+struct ComponentScratch {
+  std::vector<char> visited;
+  std::vector<std::size_t> frontier;
+  std::vector<std::size_t> members;
+  std::vector<std::uint32_t> local_of;
+};
 
 ComponentGraph build_component_indexed(const SenderIndex& by_sender,
-                                       RobotId start_name) {
-  assert(find_sender(by_sender, start_name) != nullptr &&
-         "start node must have a packet");
+                                       RobotId start_name,
+                                       ComponentScratch& scratch) {
+  const std::size_t start = sender_rank(by_sender, start_name);
+  assert(start != kNoRank && "start node must have a packet");
 
-  ComponentGraph cg;
-  // Algorithm 1's loop: repeatedly take the smallest-ID unprocessed node,
-  // add its occupied neighbors (with ports), until no reachable node is
-  // unprocessed. std::set gives the increasing-ID processing order.
+  // Phase 1 -- membership: flood-fill over the packets' neighbor references.
+  // Traversal order cannot affect the result (the component is the
+  // reachability closure, and nodes are emitted name-ascending below), so a
+  // plain stack replaces any ordered frontier.
   //
   // Under the paper's model every referenced neighbor has a packet; a
-  // reference without one can only come from a lying (Byzantine) packet,
-  // in which case the phantom node is skipped -- the honest part of the
+  // reference without one can only come from a lying (Byzantine) packet, in
+  // which case the phantom node is skipped -- the honest part of the
   // component is still built deterministically by every robot.
-  std::set<RobotId> to_process{start_name};
-  std::set<RobotId> processed;
-  while (!to_process.empty()) {
-    const RobotId name = *to_process.begin();
-    to_process.erase(to_process.begin());
-    processed.insert(name);
-    const InfoPacket* pkt = find_sender(by_sender, name);
-    if (pkt == nullptr) continue;  // phantom reference: skip
-    ComponentNode node = node_from_packet(*pkt);
-    // Drop edges toward phantom names so the component stays closed.
-    std::erase_if(node.edges, [&](const std::pair<Port, RobotId>& edge) {
-      return find_sender(by_sender, edge.second) == nullptr;
-    });
-    for (const auto& [port, nb] : node.edges)
-      if (!processed.count(nb)) to_process.insert(nb);
+  if (scratch.visited.size() != by_sender.size())
+    scratch.visited.assign(by_sender.size(), 0);
+  assert(scratch.frontier.empty());
+  scratch.members.clear();
+  scratch.visited[start] = 1;
+  scratch.frontier.push_back(start);
+  scratch.members.push_back(start);
+  while (!scratch.frontier.empty()) {
+    const std::size_t rank = scratch.frontier.back();
+    scratch.frontier.pop_back();
+    for (const NeighborInfo& nb : by_sender[rank].second->occupied_neighbors) {
+      const std::size_t r = sender_rank(by_sender, nb.min_robot);
+      if (r == kNoRank || scratch.visited[r]) continue;
+      scratch.visited[r] = 1;
+      scratch.frontier.push_back(r);
+      scratch.members.push_back(r);
+    }
+  }
+
+  // Phase 2 -- materialization, name-ascending (ranks ascend with names, so
+  // sorting the collected ranks IS the canonical node order), resolving every
+  // edge target to its dense in-component index as it is emitted.
+  std::sort(scratch.members.begin(), scratch.members.end());
+  if (scratch.local_of.size() != by_sender.size())
+    scratch.local_of.resize(by_sender.size());
+  for (std::size_t i = 0; i < scratch.members.size(); ++i)
+    scratch.local_of[scratch.members[i]] = static_cast<std::uint32_t>(i);
+
+  ComponentGraph cg;
+  std::vector<std::uint32_t> targets;
+  for (const std::size_t rank : scratch.members) {
+    const InfoPacket& pkt = *by_sender[rank].second;
+    ComponentNode node;
+    node.name = pkt.sender;
+    node.count = pkt.count;
+    node.degree = pkt.degree;
+    node.robots = pkt.robots;
+    node.edges.reserve(pkt.occupied_neighbors.size());
+    const std::size_t first_target = targets.size();
+    for (const NeighborInfo& nb : pkt.occupied_neighbors) {
+      const std::size_t r = sender_rank(by_sender, nb.min_robot);
+      if (r == kNoRank) continue;  // phantom neighbor: edge dropped
+      node.edges.emplace_back(nb.port, nb.min_robot);
+      targets.push_back(scratch.local_of[r]);
+    }
+    // Packets list neighbors port-ascending already; keep the invariant in
+    // case a caller hand-builds packets (permuting targets alongside).
+    if (!std::is_sorted(node.edges.begin(), node.edges.end())) {
+      std::vector<std::size_t> order(node.edges.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return node.edges[a] < node.edges[b];
+      });
+      std::vector<std::pair<Port, RobotId>> edges(node.edges.size());
+      std::vector<std::uint32_t> tgt(node.edges.size());
+      for (std::size_t e = 0; e < order.size(); ++e) {
+        edges[e] = node.edges[order[e]];
+        tgt[e] = targets[first_target + order[e]];
+      }
+      node.edges = std::move(edges);
+      std::copy(tgt.begin(), tgt.end(), targets.begin() + first_target);
+    }
     cg.add_node(std::move(node));
   }
-  cg.seal();
+  cg.seal_presorted(std::move(targets));
   return cg;
 }
+
 
 }  // namespace
 
 ComponentGraph build_component(const std::vector<InfoPacket>& packets,
                                RobotId start_name) {
-  return build_component_indexed(index_by_sender(packets), start_name);
+  ComponentScratch scratch;
+  return build_component_indexed(index_by_sender(packets), start_name, scratch);
+}
+
+std::vector<ComponentGraph> build_components_split(
+    const std::vector<InfoPacket>& packets, std::vector<RobotId>* trivial) {
+  const SenderIndex by_sender = index_by_sender(packets);
+  std::vector<ComponentGraph> components;
+  // The scratch's visited flags persist across seeds: a sender absorbed by
+  // an earlier component is never re-seeded (the `seen` set of the seed).
+  ComponentScratch scratch;
+  scratch.visited.assign(by_sender.size(), 0);
+  for (const InfoPacket& pkt : packets) {
+    const std::size_t rank = sender_rank(by_sender, pkt.sender);
+    assert(rank != kNoRank);
+    if (scratch.visited[rank]) continue;
+    // A lone robot whose packet lists no occupied neighbor seeds a
+    // single-node, edge-free component; when the caller accepts the compact
+    // form, record just the name. Marking it visited here preserves the
+    // exact absorption behavior of the full build: later components keep
+    // their edge toward it but never enqueue it.
+    if (trivial != nullptr && pkt.count == 1 && pkt.occupied_neighbors.empty()) {
+      scratch.visited[rank] = 1;
+      trivial->push_back(pkt.sender);
+      continue;
+    }
+    components.push_back(
+        build_component_indexed(by_sender, pkt.sender, scratch));
+  }
+  return components;
 }
 
 std::vector<ComponentGraph> build_all_components(
     const std::vector<InfoPacket>& packets) {
-  const SenderIndex by_sender = index_by_sender(packets);
-  std::vector<ComponentGraph> components;
-  std::set<RobotId> seen;
-  for (const InfoPacket& pkt : packets) {
-    if (seen.count(pkt.sender)) continue;
-    ComponentGraph cg = build_component_indexed(by_sender, pkt.sender);
-    for (const ComponentNode& n : cg.nodes()) seen.insert(n.name);
-    components.push_back(std::move(cg));
-  }
-  return components;
+  return build_components_split(packets, nullptr);
 }
 
 }  // namespace dyndisp::core

@@ -55,12 +55,34 @@ class ComponentGraph {
   /// multiplicity node; kNoRobot when the component has no multiplicity.
   RobotId root_name() const;
 
+  /// Sentinel for an edge whose named neighbor is not a node of this
+  /// component (only hand-built or Byzantine-degenerate graphs produce one).
+  static constexpr std::uint32_t kMissingTarget = 0xffffffffu;
+
+  /// Dense nodes() indices of nodes()[node_idx].edges' targets, aligned to
+  /// that edges vector: edge_targets(i)[e] is the index of the node named
+  /// nodes()[i].edges[e].second (or kMissingTarget). Resolved once at seal
+  /// time so the per-edge consumers (Algorithm 2's builders) walk indices
+  /// instead of binary-searching names.
+  const std::uint32_t* edge_targets(std::size_t node_idx) const {
+    return edge_targets_.data() + edge_offsets_[node_idx];
+  }
+
   /// Used by the builder; nodes must be inserted in any order, then sealed.
   void add_node(ComponentNode node);
   void seal();
 
+  /// Builder fast path: nodes were added already ascending by name, and
+  /// `edge_targets` holds every node's edge target indices pre-resolved and
+  /// concatenated in node order -- skips seal()'s sort and name resolution.
+  void seal_presorted(std::vector<std::uint32_t> edge_targets);
+
  private:
   std::vector<ComponentNode> nodes_;  // kept ascending by name after seal()
+  /// CSR layout of the resolved edge targets: node i's targets live at
+  /// [edge_offsets_[i], edge_offsets_[i + 1]).
+  std::vector<std::uint32_t> edge_offsets_;
+  std::vector<std::uint32_t> edge_targets_;
 };
 
 /// Algorithm 1: builds the connected component containing the node named
@@ -75,5 +97,17 @@ ComponentGraph build_component(const std::vector<InfoPacket>& packets,
 /// only ever needs its own component.)
 std::vector<ComponentGraph> build_all_components(
     const std::vector<InfoPacket>& packets);
+
+/// build_all_components with the dominant degenerate case split out: when
+/// `trivial` is non-null, single-robot senders whose packets list no occupied
+/// neighbor are appended to it (in packet order, hence ascending) instead of
+/// being materialized as one-node ComponentGraphs, and the return value holds
+/// only the remaining components. Such components never carry multiplicity and
+/// contribute nothing to a plan, but at k >= 10^5 on sparse random graphs they
+/// are ~10^4 per round -- the compact form skips their node/robots/edges
+/// allocations. The union of both outputs is exactly build_all_components;
+/// passing nullptr IS build_all_components.
+std::vector<ComponentGraph> build_components_split(
+    const std::vector<InfoPacket>& packets, std::vector<RobotId>* trivial);
 
 }  // namespace dyndisp::core

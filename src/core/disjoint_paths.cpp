@@ -9,10 +9,14 @@ namespace dyndisp::core {
 std::vector<RobotId> leaf_node_set(const ComponentGraph& cg,
                                    const SpanningTree& st) {
   std::vector<RobotId> leaves;
+  // cg and the tree hold the same name set ascending: lockstep cursor, no
+  // binary searches.
+  const std::vector<ComponentNode>& cn = cg.nodes();
+  std::size_t c = 0;
   for (const TreeNode& tn : st.nodes()) {  // ascending by name
-    const ComponentNode* cn = cg.find(tn.name);
-    assert(cn != nullptr);
-    if (cn->has_empty_neighbor()) leaves.push_back(tn.name);
+    while (c < cn.size() && cn[c].name < tn.name) ++c;
+    assert(c < cn.size() && cn[c].name == tn.name);
+    if (cn[c].has_empty_neighbor()) leaves.push_back(tn.name);
   }
   return leaves;
 }
@@ -26,20 +30,54 @@ bool paths_disjoint(const RootPath& a, const RootPath& b) {
 }
 
 std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
-                                     const SpanningTree& st) {
+                                     const SpanningTree& st,
+                                     std::size_t max_keep) {
   std::vector<RootPath> kept;
   if (st.size() == 0) return kept;
-  // Non-root nodes already claimed by a path, flagged by name (tree names
-  // are robot IDs, so the flat array is at most k entries).
-  std::vector<char> used(st.nodes().back().name + 1, 0);
-  for (const RobotId leaf : leaf_node_set(cg, st)) {
-    RootPath path = st.root_path(leaf);
-    const bool overlaps =
-        std::any_of(path.begin() + 1, path.end(),
-                    [&](RobotId name) { return used[name] != 0; });
+  const std::vector<TreeNode>& tn = st.nodes();  // ascending by name
+
+  // Non-root nodes already claimed by a path, flagged by dense tree index.
+  // A candidate's path is rejected the moment the upward walk from its leaf
+  // meets a claimed node, so a rejection costs the distance to the claimed
+  // forest, not the full depth -- the seed's root_path-per-leaf scheme made
+  // one round's planning O(leaves * depth), quadratic on the giant
+  // component of a random placement.
+  std::vector<char> used(tn.size(), 0);
+
+  // LeafNodeSet membership comes from the component node's degree; cg and
+  // the tree hold the same name set ascending, so a lockstep cursor
+  // resolves each tree node's ComponentNode without binary searches.
+  const std::vector<ComponentNode>& cn = cg.nodes();
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < tn.size(); ++i) {
+    while (c < cn.size() && cn[c].name < tn[i].name) ++c;
+    assert(c < cn.size() && cn[c].name == tn[i].name &&
+           "spanning tree node missing from its component");
+    if (!cn[c].has_empty_neighbor()) continue;  // not in LeafNodeSet
+
+    bool overlaps = false;
+    for (std::size_t j = i; tn[j].parent != kNoRobot;
+         j = st.parent_index(j)) {
+      if (used[j] != 0) {
+        overlaps = true;
+        break;
+      }
+    }
     if (overlaps) continue;
-    for (auto it = path.begin() + 1; it != path.end(); ++it) used[*it] = 1;
+
+    // Keep: materialize the path root-first and claim its non-root nodes.
+    RootPath path(tn[i].depth + 1);
+    std::size_t j = i;
+    for (std::size_t d = tn[i].depth + 1; d-- > 0;) {
+      path[d] = tn[j].name;
+      if (tn[j].parent != kNoRobot) {
+        used[j] = 1;
+        j = st.parent_index(j);
+      }
+    }
+    assert(path.front() == st.root());
     kept.push_back(std::move(path));
+    if (max_keep != 0 && kept.size() >= max_keep) break;
   }
   return kept;
 }

@@ -33,8 +33,15 @@ std::vector<RobotId> leaf_node_set(const ComponentGraph& cg,
 /// Algorithm 3: the disjoint path set, in the order the paths were kept
 /// (which is increasing by leaf name -- the order Algorithm 4's trimming
 /// step relies on).
+///
+/// `max_keep` (0 = unlimited) stops the scan once that many paths are kept.
+/// Because paths are kept in increasing leaf-name order, the capped result
+/// is exactly the uncapped result's prefix -- the planner passes its
+/// count(root)-1 trimming bound here so giant components never materialize
+/// paths the trim would discard anyway.
 std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
-                                     const SpanningTree& st);
+                                     const SpanningTree& st,
+                                     std::size_t max_keep = 0);
 
 /// True if `a` and `b` share no node other than the root (index 0).
 bool paths_disjoint(const RootPath& a, const RootPath& b);

@@ -39,6 +39,20 @@ class DispersionRobot final : public RobotAlgorithm {
   bool requires_global_comm() const override { return true; }
   bool requires_neighborhood() const override { return true; }
 
+  /// step() reads only the packet broadcast (with its reuse hints), the
+  /// node degree, and the empty-port list; it never touches the co-located
+  /// robot list, exchanged states, or per-neighbor robot lists -- Algorithm 4
+  /// derives everything from the packets. Declaring that lets the engine's
+  /// struct-of-arrays loop skip assembling those fields for all k robots.
+  ViewNeeds view_needs() const override {
+    ViewNeeds needs;
+    needs.colocated = false;
+    needs.colocated_states = false;
+    needs.occupied_neighbors = false;
+    needs.empty_ports = true;
+    return needs;
+  }
+
  private:
   RobotId id_;        // persistent: the robot's ceil(log2 k)-bit identity
   std::size_t k_;     // model parameter (IDs range over [1, k]); not state

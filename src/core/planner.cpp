@@ -28,37 +28,40 @@ Port port_to_child(const SpanningTree& st, RobotId from, RobotId to) {
 SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
                          const PlannerConfig& config) {
   SlidePlan plan;
-  std::vector<RootPath> paths = disjoint_paths(cg, st);
-  // Lemma 3 guarantees a path under the paper's model; an empty set can
-  // only arise from lying (Byzantine) packets that hide empty neighbors.
-  // Degrade gracefully: nobody in this component moves this round.
-  if (paths.empty()) return plan;
-
   const ComponentNode* root_cn = cg.find(st.root());
   assert(root_cn != nullptr && root_cn->count >= 2);
   const std::size_t count_root = root_cn->count;
 
   // Algorithm 4's trimming: at most count(v_root) - 1 paths can be served,
-  // one robot each; paths are already ordered by increasing leaf name.
-  if (paths.size() >= count_root) paths.resize(count_root - 1);
-  if (config.max_paths > 0 && paths.size() > config.max_paths)
-    paths.resize(config.max_paths);
+  // one robot each; paths are kept in increasing leaf-name order, so
+  // passing the trim bound as disjoint_paths' keep cap yields exactly the
+  // trimmed set without ever materializing the discarded paths.
+  std::size_t cap = count_root - 1;
+  if (config.max_paths > 0 && config.max_paths < cap) cap = config.max_paths;
+  std::vector<RootPath> paths = disjoint_paths(cg, st, cap);
+  // Lemma 3 guarantees a path under the paper's model; an empty set can
+  // only arise from lying (Byzantine) packets that hide empty neighbors.
+  // Degrade gracefully: nobody in this component moves this round.
+  if (paths.empty()) return plan;
 
   // Root movers: the smallest-ID robot at the root stays settled; the rest
   // are assigned to the kept paths in ascending order.
   assert(paths.size() <= count_root - 1);
 
+  // Each mover is assigned exactly once (paths are node-disjoint and root
+  // movers are distinct robots), so directives are appended unordered and
+  // sealed into ascending-ID order in one sort.
   for (std::size_t j = 0; j < paths.size(); ++j) {
     const RootPath& path = paths[j];
     const RobotId root_mover = root_cn->robots[j + 1];
 
     if (path.size() == 1) {
       // Trivial path: the root itself borders an empty node.
-      plan.movers[root_mover] = MoveDirective{kInvalidPort, true};
+      plan.movers.append(root_mover, MoveDirective{kInvalidPort, true});
       continue;
     }
-    plan.movers[root_mover] =
-        MoveDirective{port_to_child(st, path[0], path[1]), false};
+    plan.movers.append(root_mover,
+                       MoveDirective{port_to_child(st, path[0], path[1]), false});
 
     for (std::size_t i = 1; i < path.size(); ++i) {
       const ComponentNode* cn = cg.find(path[i]);
@@ -67,28 +70,34 @@ SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
       // (the smallest-ID robot stays settled; see DESIGN.md #4).
       const RobotId mover = cn->robots.back();
       if (i + 1 < path.size()) {
-        plan.movers[mover] =
-            MoveDirective{port_to_child(st, path[i], path[i + 1]), false};
+        plan.movers.append(
+            mover, MoveDirective{port_to_child(st, path[i], path[i + 1]), false});
       } else {
-        plan.movers[mover] = MoveDirective{kInvalidPort, true};
+        plan.movers.append(mover, MoveDirective{kInvalidPort, true});
       }
     }
   }
+  plan.movers.seal();
   return plan;
 }
 
 SlidePlan plan_round(const std::vector<InfoPacket>& packets,
                      const PlannerConfig& config) {
   SlidePlan plan;
-  for (const ComponentGraph& cg : build_all_components(packets)) {
+  // Trivial (single-robot, edge-free) senders never carry multiplicity, so
+  // the split form skips materializing their one-node graphs outright.
+  std::vector<RobotId> trivial;
+  for (const ComponentGraph& cg : build_components_split(packets, &trivial)) {
     if (!cg.has_multiplicity()) continue;
     const SpanningTree st = config.tree == PlannerConfig::Tree::kBfs
                                 ? build_spanning_tree_bfs(cg)
                                 : build_spanning_tree(cg);
     SlidePlan component_plan = plan_component(cg, st, config);
-    // Robot sets of distinct components are disjoint, so merging is a union.
-    plan.movers.merge(component_plan.movers);
+    // Robot sets of distinct components are disjoint, so appending then
+    // sealing once builds exactly their sorted union.
+    plan.movers.append_all(component_plan.movers);
   }
+  plan.movers.seal();
   return plan;
 }
 
@@ -96,15 +105,26 @@ const SlidePlan& PlanCache::get_locked(
     const std::vector<InfoPacket>& packets,
     const std::shared_ptr<const std::vector<InfoPacket>>& handle,
     const ReuseHints* hints, const PlannerConfig& config) {
+  // The stored key's content lives behind the pinned handle when one was
+  // adopted; the detached copy key_ only backs handle-less get() calls, so
+  // handle-keyed misses never deep-copy the round's packet vector.
+  const std::vector<InfoPacket>& stored = key_handle_ ? *key_handle_ : key_;
   if (valid_ && config_ == config &&
-      ((handle && key_handle_ == handle) || key_ == packets)) {
-    if (handle) key_handle_ = handle;  // adopt for future pointer hits
+      ((handle && key_handle_ == handle) || stored == packets)) {
+    if (handle) {
+      key_handle_ = handle;  // adopt for future pointer hits
+      key_.clear();
+    }
     ++hits_;
     return *value_;
   }
   ++misses_;
-  key_ = packets;
   key_handle_ = handle;
+  if (handle) {
+    key_.clear();
+  } else {
+    key_ = packets;
+  }
   config_ = config;
   if (structure_ && hints != nullptr && hints->valid && handle) {
     value_ = structure_->plan(handle, *hints, config);

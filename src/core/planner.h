@@ -13,10 +13,13 @@
 // sharing it is an exact optimization (tests compare both modes).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
-#include <map>
+#include <iterator>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/component.h"
@@ -40,10 +43,109 @@ struct MoveDirective {
   bool exit_via_smallest_empty = false;
 };
 
+/// Flat ordered map: (robot ID, directive) pairs kept ascending by ID in
+/// one contiguous vector. Replaces the seed's std::map<RobotId,
+/// MoveDirective> -- per-round plans are built once and then only read
+/// (k lookups per round), so a sorted vector turns every node allocation
+/// into an append and every red-black walk into a binary search over a
+/// cache-dense array. The read surface mirrors std::map (find/at/count/
+/// iteration in ascending key order) so planner consumers are unchanged.
+class MoverMap {
+ public:
+  using value_type = std::pair<RobotId, MoveDirective>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const_iterator find(RobotId id) const {
+    const auto it = lower_bound(id);
+    return (it != entries_.end() && it->first == id) ? it : entries_.end();
+  }
+  std::size_t count(RobotId id) const { return find(id) != end() ? 1 : 0; }
+  const MoveDirective& at(RobotId id) const {
+    const auto it = find(id);
+    assert(it != end() && "MoverMap::at on an absent robot");
+    return it->second;
+  }
+
+  /// Inserts or overwrites, keeping the entries sorted. O(size) worst case;
+  /// builders on hot paths use append()+seal() instead.
+  MoveDirective& operator[](RobotId id) {
+    const auto it = lower_bound(id);
+    if (it != entries_.end() && it->first == id) return it->second;
+    return entries_.insert(it, value_type{id, MoveDirective{}})->second;
+  }
+
+  /// Appends without maintaining order; a seal() must follow before reads.
+  void append(RobotId id, MoveDirective d) { entries_.emplace_back(id, d); }
+
+  /// Bulk append for accumulation loops (per-component plans into the round
+  /// union): entry order is not maintained, so a single seal() must follow
+  /// the run of append_all()s -- one final sort instead of re-merging the
+  /// accumulator once per component.
+  void append_all(const MoverMap& other) {
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+  }
+
+  /// Restores ascending-ID order after a run of append()s. Keys must be
+  /// unique (the planner assigns each mover exactly once per round).
+  void seal() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const value_type& a, const value_type& b) {
+                return a.first < b.first;
+              });
+    assert(std::adjacent_find(entries_.begin(), entries_.end(),
+                              [](const value_type& a, const value_type& b) {
+                                return a.first == b.first;
+                              }) == entries_.end() &&
+           "each robot receives at most one directive per round");
+  }
+
+  /// Unions `other` in (disjoint key sets, both sorted): one linear merge,
+  /// the flat replacement for std::map::merge/insert(range).
+  void merge_disjoint(const MoverMap& other) {
+    if (other.empty()) return;
+    if (empty()) {
+      entries_ = other.entries_;
+      return;
+    }
+    std::vector<value_type> merged;
+    merged.reserve(entries_.size() + other.entries_.size());
+    std::merge(entries_.begin(), entries_.end(), other.entries_.begin(),
+               other.entries_.end(), std::back_inserter(merged),
+               [](const value_type& a, const value_type& b) {
+                 return a.first < b.first;
+               });
+    entries_ = std::move(merged);
+  }
+
+  bool operator==(const MoverMap&) const = default;
+
+ private:
+  std::vector<value_type>::iterator lower_bound(RobotId id) {
+    return std::lower_bound(entries_.begin(), entries_.end(), id,
+                            [](const value_type& e, RobotId x) {
+                              return e.first < x;
+                            });
+  }
+  const_iterator lower_bound(RobotId id) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), id,
+                            [](const value_type& e, RobotId x) {
+                              return e.first < x;
+                            });
+  }
+
+  std::vector<value_type> entries_;
+};
+
 /// Movers for one round: robot ID -> directive. Robots absent from the map
 /// stay put.
 struct SlidePlan {
-  std::map<RobotId, MoveDirective> movers;
+  MoverMap movers;
 
   bool operator==(const SlidePlan&) const;
 };

@@ -42,6 +42,19 @@ void SpanningTree::seal() {
   }
 }
 
+void SpanningTree::seal_presorted(std::vector<std::uint32_t> parent_idx) {
+  assert(std::is_sorted(
+      nodes_.begin(), nodes_.end(),
+      [](const TreeNode& a, const TreeNode& b) { return a.name < b.name; }));
+  assert(parent_idx.size() == nodes_.size());
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    assert(nodes_[i].parent == kNoRobot ||
+           nodes_[parent_idx[i]].name == nodes_[i].parent);
+#endif
+  parent_idx_ = std::move(parent_idx);
+}
+
 SpanningTree build_spanning_tree(const ComponentGraph& cg) {
   const RobotId root = cg.root_name();
   assert(root != kNoRobot &&
@@ -53,11 +66,11 @@ SpanningTree build_spanning_tree(const ComponentGraph& cg) {
   // Iterative DFS per the pseudocode: push the neighbors in decreasing port
   // order so the smallest port is explored first; connect each node to the
   // node from which it was (first) discovered. cg.nodes() is ascending by
-  // name and ComponentGraph::find returns a pointer into it, so `cn - base`
-  // is a stable dense index -- the builder works on flat arrays and resolves
-  // each name exactly once, when its edge is pushed.
+  // name and cg.edge_targets() pre-resolves every edge's dense node index,
+  // so the builder works entirely on flat arrays without name lookups.
   const ComponentNode* const base = cg.nodes().data();
   std::vector<TreeNode> tree(cg.size());
+  std::vector<std::uint32_t> parent_idx(cg.size(), 0);
   std::vector<char> present(cg.size(), 0);
 
   struct PendingVisit {
@@ -74,16 +87,19 @@ SpanningTree build_spanning_tree(const ComponentGraph& cg) {
   tree[root_idx].depth = 0;
   present[root_idx] = 1;
 
-  const auto push_edges = [&](const ComponentNode& cn, std::uint32_t from_idx) {
-    for (auto it = cn.edges.rbegin(); it != cn.edges.rend(); ++it) {
-      const ComponentNode* nb = cg.find(it->second);
-      assert(nb != nullptr && "component edge points outside the component");
-      const auto nb_idx = static_cast<std::uint32_t>(nb - base);
+  const auto push_edges = [&](std::uint32_t cn_idx) {
+    const ComponentNode& cn = base[cn_idx];
+    const std::uint32_t* targets = cg.edge_targets(cn_idx);
+    for (std::size_t e = cn.edges.size(); e-- > 0;) {
+      const std::uint32_t nb_idx = targets[e];
+      assert(nb_idx != ComponentGraph::kMissingTarget &&
+             "component edge points outside the component");
+      if (nb_idx == ComponentGraph::kMissingTarget) continue;
       if (!present[nb_idx])
-        stack.push_back(PendingVisit{nb_idx, from_idx, it->first});
+        stack.push_back(PendingVisit{nb_idx, cn_idx, cn.edges[e].first});
     }
   };
-  push_edges(*root_cn, root_idx);
+  push_edges(root_idx);
 
   while (!stack.empty()) {
     const PendingVisit visit = stack.back();
@@ -105,17 +121,19 @@ SpanningTree build_spanning_tree(const ComponentGraph& cg) {
     }
     assert(node.port_to_parent != kInvalidPort);
     node.depth = tree[visit.from_idx].depth + 1;
+    parent_idx[visit.idx] = visit.from_idx;
     tree[visit.from_idx].children.emplace_back(visit.port_at_from, node.name);
 
-    push_edges(cn, visit.idx);
+    push_edges(visit.idx);
   }
 
   assert(std::count(present.begin(), present.end(), char{1}) ==
              static_cast<std::ptrdiff_t>(cg.size()) &&
          "spanning tree must cover the whole (connected) component");
-  // Dense order IS ascending-name order, so seal()'s sort is a no-op pass.
+  // Dense order IS ascending-name order, and the discovery indices are the
+  // parent indices, so the sealed form needs no sort and no lookups.
   for (auto& node : tree) st.add_node(std::move(node));
-  st.seal();
+  st.seal_presorted(std::move(parent_idx));
   return st;
 }
 
@@ -130,6 +148,7 @@ SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg) {
   // Same dense-index scheme as the DFS builder above.
   const ComponentNode* const base = cg.nodes().data();
   std::vector<TreeNode> tree(cg.size());
+  std::vector<std::uint32_t> parent_idx(cg.size(), 0);
   std::vector<char> present(cg.size(), 0);
 
   const ComponentNode* root_cn = cg.find(root);
@@ -145,17 +164,19 @@ SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg) {
     const std::uint32_t from_idx = frontier.front();
     frontier.pop();
     const ComponentNode& cn = base[from_idx];
-    for (const auto& [port, nb] : cn.edges) {  // ascending by port
-      const ComponentNode* nb_cn = cg.find(nb);
-      assert(nb_cn != nullptr);
-      const auto nb_idx = static_cast<std::uint32_t>(nb_cn - base);
-      if (present[nb_idx]) continue;
+    const std::uint32_t* targets = cg.edge_targets(from_idx);
+    for (std::size_t e = 0; e < cn.edges.size(); ++e) {  // ascending by port
+      const std::uint32_t nb_idx = targets[e];
+      assert(nb_idx != ComponentGraph::kMissingTarget);
+      if (nb_idx == ComponentGraph::kMissingTarget || present[nb_idx])
+        continue;
       present[nb_idx] = 1;
+      const ComponentNode& nb_cn = base[nb_idx];
       TreeNode& node = tree[nb_idx];
-      node.name = nb;
+      node.name = nb_cn.name;
       node.parent = cn.name;
-      node.port_from_parent = port;
-      for (const auto& [back_port, back_nb] : nb_cn->edges) {
+      node.port_from_parent = cn.edges[e].first;
+      for (const auto& [back_port, back_nb] : nb_cn.edges) {
         if (back_nb == cn.name) {
           node.port_to_parent = back_port;
           break;
@@ -163,7 +184,8 @@ SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg) {
       }
       assert(node.port_to_parent != kInvalidPort);
       node.depth = tree[from_idx].depth + 1;
-      tree[from_idx].children.emplace_back(port, nb);
+      parent_idx[nb_idx] = from_idx;
+      tree[from_idx].children.emplace_back(cn.edges[e].first, nb_cn.name);
       frontier.push(nb_idx);
     }
   }
@@ -171,7 +193,7 @@ SpanningTree build_spanning_tree_bfs(const ComponentGraph& cg) {
   assert(std::count(present.begin(), present.end(), char{1}) ==
          static_cast<std::ptrdiff_t>(cg.size()));
   for (auto& node : tree) st.add_node(std::move(node));
-  st.seal();
+  st.seal_presorted(std::move(parent_idx));
   return st;
 }
 

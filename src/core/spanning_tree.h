@@ -35,6 +35,11 @@ class SpanningTree {
   /// Nodes ascending by name.
   const std::vector<TreeNode>& nodes() const { return nodes_; }
 
+  /// nodes() index of nodes()[i]'s parent; meaningful only when
+  /// nodes()[i].parent != kNoRobot. Lets path walkers climb the tree on
+  /// dense indices without per-hop name lookups.
+  std::uint32_t parent_index(std::size_t i) const { return parent_idx_[i]; }
+
   /// Lookup by name; nullptr when absent.
   const TreeNode* find(RobotId name) const;
 
@@ -46,6 +51,11 @@ class SpanningTree {
   void set_root(RobotId root) { root_ = root; }
   void add_node(TreeNode node);
   void seal();
+
+  /// Builder fast path: nodes were added already ascending by name and
+  /// `parent_idx` holds each node's parent index (value irrelevant at the
+  /// root) -- skips seal()'s sort and per-node parent lookup.
+  void seal_presorted(std::vector<std::uint32_t> parent_idx);
 
  private:
   RobotId root_ = kNoRobot;

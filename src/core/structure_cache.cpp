@@ -68,7 +68,7 @@ bool StructureCache::try_delta(const Entry& prev,
   enum : std::uint8_t { kAbsent = 0, kClean = 1, kDirty = 2 };
   std::vector<std::uint8_t> status(static_cast<std::size_t>(max_id) + 1,
                                    kAbsent);
-  std::vector<RobotId> dirty;
+  std::vector<std::pair<RobotId, const InfoPacket*>> dirty;
   // Past half the senders dirty, the diff bookkeeping outweighs the reuse --
   // and the walk aborts the moment that is certain, so churn-heavy rounds
   // (every round under the random adversaries) pay for a prefix of the
@@ -79,7 +79,7 @@ bool StructureCache::try_delta(const Entry& prev,
     if (j >= old_pk.size() ||
         (i < packets.size() && packets[i].sender < old_pk[j].sender)) {
       status[packets[i].sender] = kDirty;
-      dirty.push_back(packets[i].sender);
+      dirty.emplace_back(packets[i].sender, &packets[i]);
       ++i;
     } else if (i >= packets.size() || old_pk[j].sender < packets[i].sender) {
       ++j;  // sender vanished; stays kAbsent
@@ -88,7 +88,7 @@ bool StructureCache::try_delta(const Entry& prev,
         status[packets[i].sender] = kClean;
       } else {
         status[packets[i].sender] = kDirty;
-        dirty.push_back(packets[i].sender);
+        dirty.emplace_back(packets[i].sender, &packets[i]);
       }
       ++i;
       ++j;
@@ -98,17 +98,32 @@ bool StructureCache::try_delta(const Entry& prev,
 
   std::vector<bool> assigned(static_cast<std::size_t>(max_id) + 1, false);
   out.components.clear();
+  out.trivial.clear();
   std::uint64_t rebuilt = 0, reused = 0;
+
+  // Single-robot senders whose packets list no occupied neighbor always form
+  // a one-node, edge-free, plan-free component (see build_components_split);
+  // record the name instead of running Algorithm 1 on them.
+  const auto is_trivial = [](const InfoPacket& p) {
+    return p.count == 1 && p.occupied_neighbors.empty();
+  };
 
   // 1. Rebuild from the dirty seeds (ascending). A seed already absorbed by
   // an earlier dirty component is skipped.
-  for (const RobotId seed : dirty) {
+  for (const auto& [seed, pkt] : dirty) {
     if (assigned[seed]) continue;
+    if (is_trivial(*pkt)) {
+      assigned[seed] = true;
+      out.trivial.push_back(seed);
+      ++rebuilt;
+      continue;
+    }
     out.components.push_back(build_one(packets, seed, config, assigned));
     ++rebuilt;
   }
   // 2. Reuse previous components whose members are all present, unchanged,
-  // and not absorbed by a rebuilt component.
+  // and not absorbed by a rebuilt component -- and previous trivial senders
+  // under the same (one-member) condition.
   for (const CachedComponent& pc : prev.components) {
     bool reusable = true;
     for (const ComponentNode& cn : pc.graph->nodes()) {
@@ -123,11 +138,23 @@ bool StructureCache::try_delta(const Entry& prev,
     out.components.push_back(pc);
     ++reused;
   }
+  for (const RobotId s : prev.trivial) {
+    if (s >= status.size() || status[s] != kClean || assigned[s]) continue;
+    assigned[s] = true;
+    out.trivial.push_back(s);
+    ++reused;
+  }
   // 3. Defensive sweep: every sender must belong to exactly one component.
   // Under the endpoints-both-dirty argument nothing is left over, but
   // correctness must not hinge on that argument: build whatever remains.
   for (const InfoPacket& p : packets) {
     if (assigned[p.sender]) continue;
+    if (is_trivial(p)) {
+      assigned[p.sender] = true;
+      out.trivial.push_back(p.sender);
+      ++rebuilt;
+      continue;
+    }
     out.components.push_back(build_one(packets, p.sender, config, assigned));
     ++rebuilt;
   }
@@ -137,13 +164,16 @@ bool StructureCache::try_delta(const Entry& prev,
               return a.graph->nodes().front().name <
                      b.graph->nodes().front().name;
             });
+  std::sort(out.trivial.begin(), out.trivial.end());
 
   auto merged = std::make_shared<SlidePlan>();
-  // Robot sets of distinct components are disjoint, so this is a union.
+  // Robot sets of distinct components are disjoint, so append + one seal
+  // builds their sorted union.
   for (const CachedComponent& cc : out.components) {
     if (!cc.movers) continue;
-    merged->movers.insert(cc.movers->movers.begin(), cc.movers->movers.end());
+    merged->movers.append_all(cc.movers->movers);
   }
+  merged->movers.seal();
   out.merged = std::move(merged);
 
   stats_.components_reused += reused;
@@ -156,8 +186,9 @@ bool StructureCache::try_delta(const Entry& prev,
 void StructureCache::full_build(const std::vector<InfoPacket>& packets,
                                 const PlannerConfig& config, Entry& out) {
   out.components.clear();
+  out.trivial.clear();
   auto merged = std::make_shared<SlidePlan>();
-  for (ComponentGraph& built : build_all_components(packets)) {
+  for (ComponentGraph& built : build_components_split(packets, &out.trivial)) {
     CachedComponent cc;
     cc.graph = std::make_shared<const ComponentGraph>(std::move(built));
     if (cc.graph->has_multiplicity()) {
@@ -165,12 +196,12 @@ void StructureCache::full_build(const std::vector<InfoPacket>& packets,
           std::make_shared<const SpanningTree>(build_tree(*cc.graph, config));
       cc.movers = std::make_shared<const SlidePlan>(
           plan_component(*cc.graph, *tree, config));
-      merged->movers.insert(cc.movers->movers.begin(),
-                            cc.movers->movers.end());
+      merged->movers.append_all(cc.movers->movers);
       cc.tree = std::move(tree);
     }
     out.components.push_back(std::move(cc));
   }
+  merged->movers.seal();
   out.merged = std::move(merged);
 }
 

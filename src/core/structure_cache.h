@@ -29,8 +29,8 @@
 //
 // Determinism: entries live in a plain vector in most-recent-first order,
 // components are kept ascending by their smallest node name, and the merged
-// plan is a std::map -- no hash-order iteration anywhere (the lint gate
-// enforces this repo-wide). The cache is shared by all robots of a run and
+// plan is a sorted flat MoverMap -- no hash-order iteration anywhere (the
+// lint gate enforces this repo-wide). The cache is shared by all robots of a run and
 // by the engine's plan probes; a mutex serializes access (the PR-1 ThreadPool
 // calls in from many lanes). Returned plans are immutable shared_ptrs, valid
 // for as long as the caller holds them regardless of later evictions.
@@ -102,6 +102,10 @@ class StructureCache {
     PlannerConfig config;
     std::shared_ptr<const std::vector<InfoPacket>> packets;
     std::vector<CachedComponent> components;  ///< Ascending by min node name.
+    /// Single-robot, edge-free components stored by name only (ascending);
+    /// see build_components_split. They plan nothing, so reuse just checks
+    /// the sender's packet is unchanged.
+    std::vector<RobotId> trivial;
     std::shared_ptr<const SlidePlan> merged;
   };
 

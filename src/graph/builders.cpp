@@ -121,6 +121,9 @@ Graph random_tree(std::size_t n, Rng& rng) {
   for (auto& x : prufer) x = static_cast<NodeId>(rng.below(n));
   std::vector<std::size_t> deg(n, 1);
   for (NodeId x : prufer) ++deg[x];
+  // deg[v] is exactly v's final tree degree, so every adjacency list can be
+  // sized once up front instead of growing through add_edge.
+  for (NodeId v = 0; v < n; ++v) g.reserve_ports(v, deg[v]);
   std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> leaves;
   for (NodeId v = 0; v < n; ++v)
     if (deg[v] == 1) leaves.push(v);

@@ -155,6 +155,12 @@ void Graph::rewire_edge(NodeId u, NodeId v, NodeId x, NodeId y) {
 }
 
 void Graph::permute_ports(NodeId v, const std::vector<std::size_t>& perm) {
+  std::vector<HalfEdge> scratch;
+  permute_ports_impl(v, perm, scratch);
+}
+
+void Graph::permute_ports_impl(NodeId v, const std::vector<std::size_t>& perm,
+                               std::vector<HalfEdge>& scratch) {
   assert(perm.size() == adj_[v].size());
   // Every incident edge's port at v changes, so retire all of v's terms and
   // re-add them after the permutation (reverse ports elsewhere included).
@@ -163,12 +169,12 @@ void Graph::permute_ports(NodeId v, const std::vector<std::size_t>& perm) {
     fp_edges_ ^=
         fp_edge_term(v, he.to, static_cast<Port>(i + 1), he.reverse_port);
   }
-  std::vector<HalfEdge> next(adj_[v].size());
+  scratch.resize(adj_[v].size());
   for (std::size_t i = 0; i < perm.size(); ++i) {
-    assert(perm[i] < next.size());
-    next[perm[i]] = adj_[v][i];
+    assert(perm[i] < scratch.size());
+    scratch[perm[i]] = adj_[v][i];
   }
-  adj_[v] = std::move(next);
+  std::copy(scratch.begin(), scratch.end(), adj_[v].begin());
   for (std::size_t i = 0; i < adj_[v].size(); ++i) {
     const HalfEdge& he = adj_[v][i];
     adj_[he.to][he.reverse_port - 1].reverse_port = static_cast<Port>(i + 1);
@@ -178,11 +184,13 @@ void Graph::permute_ports(NodeId v, const std::vector<std::size_t>& perm) {
 }
 
 void Graph::shuffle_ports(Rng& rng) {
+  std::vector<std::size_t> perm;
+  std::vector<HalfEdge> scratch;
   for (NodeId v = 0; v < adj_.size(); ++v) {
-    std::vector<std::size_t> perm(adj_[v].size());
+    perm.resize(adj_[v].size());
     std::iota(perm.begin(), perm.end(), std::size_t{0});
     rng.shuffle(perm);
-    permute_ports(v, perm);
+    permute_ports_impl(v, perm, scratch);
   }
 }
 
@@ -250,34 +258,35 @@ bool Graph::changed_nodes_into(const Graph& prev, std::vector<NodeId>& out,
 }
 
 std::string Graph::validate() const {
+  // Error strings are formatted only on failure: this runs once per round
+  // on every adversary-emitted graph, so the success path must stay
+  // allocation-free (a stream per half-edge used to dominate validation).
   std::size_t half_edges = 0;
   for (NodeId v = 0; v < adj_.size(); ++v) {
     half_edges += adj_[v].size();
     for (std::size_t i = 0; i < adj_[v].size(); ++i) {
       const HalfEdge& he = adj_[v][i];
-      std::ostringstream err;
       if (he.to >= adj_.size()) {
-        err << "node " << v << " port " << i + 1 << " points outside graph";
-        return err.str();
+        return "node " + std::to_string(v) + " port " + std::to_string(i + 1) +
+               " points outside graph";
       }
       if (he.to == v) {
-        err << "self-loop at node " << v;
-        return err.str();
+        return "self-loop at node " + std::to_string(v);
       }
       if (he.reverse_port == kInvalidPort ||
           he.reverse_port > adj_[he.to].size()) {
-        err << "node " << v << " port " << i + 1 << " has bad reverse port";
-        return err.str();
+        return "node " + std::to_string(v) + " port " + std::to_string(i + 1) +
+               " has bad reverse port";
       }
       const HalfEdge& back = adj_[he.to][he.reverse_port - 1];
       if (back.to != v || back.reverse_port != static_cast<Port>(i + 1)) {
-        err << "reverse port mismatch on edge {" << v << "," << he.to << "}";
-        return err.str();
+        return "reverse port mismatch on edge {" + std::to_string(v) + "," +
+               std::to_string(he.to) + "}";
       }
       for (std::size_t j = i + 1; j < adj_[v].size(); ++j) {
         if (adj_[v][j].to == he.to) {
-          err << "parallel edge {" << v << "," << he.to << "}";
-          return err.str();
+          return "parallel edge {" + std::to_string(v) + "," +
+                 std::to_string(he.to) + "}";
         }
       }
     }

@@ -81,6 +81,14 @@ class Graph {
   /// Requires u != v and that the edge is not already present.
   std::pair<Port, Port> add_edge(NodeId u, NodeId v);
 
+  /// Capacity hint: pre-sizes `v`'s adjacency for `degree` incident edges.
+  /// Purely an allocation optimization for builders that know final degrees
+  /// up front (adversaries regenerate a graph every round, so the growth
+  /// reallocations of plain add_edge dominate generation at n >= 10^5).
+  void reserve_ports(NodeId v, std::size_t degree) {
+    adj_[v].reserve(degree);
+  }
+
   /// Removes the edge {u, v} if present, compacting port labels so they stay
   /// contiguous (the ports of later edges shift down by one at each
   /// endpoint). Returns true if an edge was removed.
@@ -103,6 +111,15 @@ class Graph {
   /// 0-based position of the half-edge currently at 0-based position i.
   /// `perm` must be a permutation of [0, degree(v)).
   void permute_ports(NodeId v, const std::vector<std::size_t>& perm);
+
+ private:
+  /// permute_ports with caller-owned scratch: shuffle_ports permutes every
+  /// node each round, so the rearrangement buffer is reused across nodes
+  /// instead of allocated per call.
+  void permute_ports_impl(NodeId v, const std::vector<std::size_t>& perm,
+                          std::vector<HalfEdge>& scratch);
+
+ public:
 
   /// All edges as (u, v, port at u, port at v) with u < v, in port order at u.
   struct Edge {

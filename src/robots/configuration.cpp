@@ -1,37 +1,75 @@
 #include "robots/configuration.h"
 
-#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace dyndisp {
 
+namespace {
+constexpr std::size_t words_for(std::size_t n) { return (n + 63) / 64; }
+}  // namespace
+
 Configuration::Configuration(std::size_t n, std::vector<NodeId> positions)
     : node_count_(n),
       position_(std::move(positions)),
-      alive_(position_.size(), true) {
+      alive_(position_.size(), true),
+      occ_(n, 0),
+      occupied_words_(words_for(n), 0),
+      mult_words_(words_for(n), 0),
+      alive_count_(position_.size()) {
   assert(position_.size() <= n && "the model requires k <= n");
   for (const NodeId v : position_) {
     assert(v < n);
-    (void)v;
+    adjust(v, +1);
   }
 }
 
-std::size_t Configuration::alive_count() const {
-  return static_cast<std::size_t>(
-      std::count(alive_.begin(), alive_.end(), true));
+void Configuration::adjust(NodeId v, int delta) {
+  std::uint32_t& c = occ_[v];
+  const std::uint64_t bit = std::uint64_t{1} << (v % 64);
+  if (delta > 0) {
+    ++c;
+    if (c == 1) {
+      occupied_words_[v / 64] |= bit;
+      ++occupied_count_;
+    } else if (c == 2) {
+      mult_words_[v / 64] |= bit;
+      ++multiplicity_count_;
+    }
+  } else {
+    assert(c > 0);
+    --c;
+    if (c == 0) {
+      occupied_words_[v / 64] &= ~bit;
+      --occupied_count_;
+    } else if (c == 1) {
+      mult_words_[v / 64] &= ~bit;
+      --multiplicity_count_;
+    }
+  }
 }
 
 void Configuration::set_position(RobotId id, NodeId v) {
   assert(id >= 1 && id <= position_.size());
   assert(v < node_count_);
-  position_[id - 1] = v;
+  NodeId& pos = position_[id - 1];
+  if (alive_[id - 1] && pos != v) {
+    adjust(pos, -1);
+    adjust(v, +1);
+  }
+  pos = v;
+}
+
+void Configuration::kill(RobotId id) {
+  assert(id >= 1 && id <= position_.size());
+  if (!alive_[id - 1]) return;
+  alive_[id - 1] = false;
+  --alive_count_;
+  adjust(position_[id - 1], -1);
 }
 
 std::vector<std::size_t> Configuration::occupancy() const {
-  std::vector<std::size_t> occ(node_count_, 0);
-  for (std::size_t i = 0; i < position_.size(); ++i)
-    if (alive_[i]) ++occ[position_[i]];
-  return occ;
+  return std::vector<std::size_t>(occ_.begin(), occ_.end());
 }
 
 std::vector<RobotId> Configuration::robots_at(NodeId v) const {
@@ -42,27 +80,31 @@ std::vector<RobotId> Configuration::robots_at(NodeId v) const {
 }
 
 std::vector<NodeId> Configuration::occupied_nodes() const {
-  const auto occ = occupancy();
   std::vector<NodeId> nodes;
-  for (NodeId v = 0; v < occ.size(); ++v)
-    if (occ[v] > 0) nodes.push_back(v);
+  nodes.reserve(occupied_count_);
+  for (std::size_t w = 0; w < occupied_words_.size(); ++w) {
+    std::uint64_t bits = occupied_words_[w];
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      nodes.push_back(static_cast<NodeId>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
   return nodes;
 }
 
 std::vector<NodeId> Configuration::multiplicity_nodes() const {
-  const auto occ = occupancy();
   std::vector<NodeId> nodes;
-  for (NodeId v = 0; v < occ.size(); ++v)
-    if (occ[v] > 1) nodes.push_back(v);
+  nodes.reserve(multiplicity_count_);
+  for (std::size_t w = 0; w < mult_words_.size(); ++w) {
+    std::uint64_t bits = mult_words_[w];
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      nodes.push_back(static_cast<NodeId>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
   return nodes;
-}
-
-bool Configuration::is_dispersed() const {
-  return multiplicity_nodes().empty();
-}
-
-std::size_t Configuration::occupied_count() const {
-  return occupied_nodes().size();
 }
 
 }  // namespace dyndisp

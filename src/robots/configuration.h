@@ -3,9 +3,18 @@
 // A configuration Conf_r maps every robot id in [1, k] to a node of G_r.
 // Robots can also be dead (crash faults, Section VII); dead robots vanish:
 // they occupy nothing, send nothing, and never move again.
+//
+// Storage is struct-of-arrays: flat per-robot position/alive arrays plus
+// derived per-node occupancy counts and occupied/multiplicity bitsets,
+// maintained incrementally by every mutation. That turns the engine's
+// per-round queries (is_dispersed, occupied_count, alive_count, the
+// newly-occupied scan) from O(n + k) allocating passes into O(1) reads or
+// word-granular bitset scans -- the hot-loop requirement at k >= 10^5
+// (docs/PERFORMANCE.md).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/types.h"
@@ -22,15 +31,18 @@ class Configuration {
   std::size_t robot_count() const { return position_.size(); }
   std::size_t node_count() const { return node_count_; }
 
-  /// Number of alive robots.
-  std::size_t alive_count() const;
+  /// Number of alive robots. O(1).
+  std::size_t alive_count() const { return alive_count_; }
 
   NodeId position(RobotId id) const { return position_[id - 1]; }
   void set_position(RobotId id, NodeId v);
 
   bool alive(RobotId id) const { return alive_[id - 1]; }
   /// Marks a robot crashed. Idempotent.
-  void kill(RobotId id) { alive_[id - 1] = false; }
+  void kill(RobotId id);
+
+  /// Alive robots on node v. O(1).
+  std::size_t count_at(NodeId v) const { return occ_[v]; }
 
   /// Robot count per node, counting alive robots only.
   std::vector<std::size_t> occupancy() const;
@@ -45,17 +57,39 @@ class Configuration {
   std::vector<NodeId> multiplicity_nodes() const;
 
   /// True when every alive robot is alone on its node (Definition 1 / 6).
-  bool is_dispersed() const;
+  /// O(1).
+  bool is_dispersed() const { return multiplicity_count_ == 0; }
 
-  /// Number of distinct occupied nodes (alive robots).
-  std::size_t occupied_count() const;
+  /// Number of distinct occupied nodes (alive robots). O(1).
+  std::size_t occupied_count() const { return occupied_count_; }
+
+  /// Number of nodes holding two or more alive robots. O(1).
+  std::size_t multiplicity_count() const { return multiplicity_count_; }
+
+  /// Occupancy bitset, bit v set iff node v holds an alive robot; 64 nodes
+  /// per word, ceil(n/64) words. The engine's newly-occupied scan works on
+  /// these words directly (new = occ & ~ever, per word).
+  const std::vector<std::uint64_t>& occupied_words() const {
+    return occupied_words_;
+  }
 
   bool operator==(const Configuration&) const = default;
 
  private:
+  /// Occupancy bookkeeping for one robot arriving at (+1) / leaving (-1) v.
+  void adjust(NodeId v, int delta);
+
   std::size_t node_count_ = 0;
   std::vector<NodeId> position_;  // indexed by robot id - 1
   std::vector<bool> alive_;       // indexed by robot id - 1
+  // Derived, maintained incrementally (consistent by construction, so the
+  // defaulted operator== stays an equivalence on the primary arrays).
+  std::vector<std::uint32_t> occ_;             // alive robots per node
+  std::vector<std::uint64_t> occupied_words_;  // bit v: occ_[v] >= 1
+  std::vector<std::uint64_t> mult_words_;      // bit v: occ_[v] >= 2
+  std::size_t alive_count_ = 0;
+  std::size_t occupied_count_ = 0;
+  std::size_t multiplicity_count_ = 0;
 };
 
 }  // namespace dyndisp

@@ -43,6 +43,13 @@ class RobotAlgorithm {
   /// exactly what the impossibility benches do).
   virtual bool requires_global_comm() const = 0;
   virtual bool requires_neighborhood() const = 0;
+
+  /// Which optional RobotView fields step() reads (see ViewNeeds). The
+  /// engine's struct-of-arrays round loop skips assembling fields that no
+  /// robot of the run declares; an algorithm overriding this promises its
+  /// step() never reads a disclaimed field. The all-true default keeps
+  /// every unported algorithm on full views.
+  virtual ViewNeeds view_needs() const { return ViewNeeds{}; }
 };
 
 /// Creates the algorithm instance for robot `id` out of `k` robots.

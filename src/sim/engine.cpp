@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
@@ -31,6 +32,13 @@ Engine::Engine(Adversary& adversary, Configuration initial,
   states_.assign(k, nullptr);
   state_bits_.assign(k, 0);
   activation_rng_ = Rng(options_.activation_seed);
+  // Aggregate view needs: a field is assembled if ANY robot declares it.
+  // The legacy loop always assembles everything.
+  if (options_.soa && !robots_.empty()) {
+    needs_ = robots_.front()->view_needs();
+    for (std::size_t i = 1; i < robots_.size(); ++i)
+      needs_.merge(robots_[i]->view_needs());
+  }
   if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
   if (!options_.allow_model_mismatch && !robots_.empty()) {
     const RobotAlgorithm& proto = *robots_.front();
@@ -52,7 +60,8 @@ std::string Engine::algorithm_name() const {
 }
 
 void Engine::refresh_state(RobotId id) {
-  BitWriter w;
+  BitWriter& w = state_writer_;
+  w.clear();
   robots_[id - 1]->serialize(w);
   state_bits_[id - 1] = w.bit_count();
   // Settled robots re-serialize to identical bytes round after round; keep
@@ -84,19 +93,40 @@ MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
                          const std::vector<RobotAlgorithm*>& robots,
                          const RoundContext& ctx,
                          std::shared_ptr<const std::vector<InfoPacket>> packets,
-                         const ReuseHints& hints, ThreadPool* pool) {
+                         const ReuseHints& hints, ThreadPool* pool,
+                         std::vector<RobotView>* view_arena,
+                         const ViewNeeds& needs) {
   const bool neighborhood = options.neighborhood_knowledge;
   const std::size_t k = conf.robot_count();
 
   // Phase 1: assemble all views against the synchronous snapshot. Each view
   // attaches the round's shared packet and state handles; nothing is copied
-  // per robot beyond its own neighborhood scan.
-  std::vector<RobotView> views(k);
+  // per robot beyond its own neighborhood scan. The SoA loop hands in a
+  // persistent arena: each robot's slot is refilled in place (vector
+  // capacities survive across rounds) and fields outside the run's declared
+  // needs are skipped; the legacy loop constructs fresh full views.
+  std::vector<RobotView> local_views;
+  if (view_arena == nullptr) {
+    local_views.resize(k);
+  } else if (view_arena->size() != k) {
+    view_arena->resize(k);
+  }
+  std::vector<RobotView>& views = view_arena ? *view_arena : local_views;
   parallel_for(pool, k, [&](std::size_t i) {
     const RobotId id = static_cast<RobotId>(i + 1);
     if (!conf.alive(id) || !active[i]) return;
+    if (view_arena != nullptr) {
+      RobotView& view = views[i];
+      fill_view(view, g, conf, id, round, options.comm, neighborhood, packets,
+                ctx.index(), needs);
+      view.arrival_port = arrival_ports[i];
+      if (needs.colocated_states)
+        view.colocated_states = ctx.node_states(conf.position(id));
+      view.reuse = hints;
+      return;
+    }
     RobotView view = make_view(g, conf, id, round, options.comm,
-                               neighborhood, packets, &ctx.index());
+                               neighborhood, packets, ctx.index());
     view.arrival_port = arrival_ports[i];
     view.colocated_states = ctx.node_states(conf.position(id));
     view.reuse = hints;
@@ -152,7 +182,8 @@ MovePlan Engine::probe_plan(const Graph& candidate) const {
   // content compare, so probing can never leak a wrong plan.
   return plan_on(candidate, conf_, probe_round_, options_, arrival_ports_,
                  active_, raw, *round_ctx_, std::move(packets),
-                 make_hints(candidate), pool_.get());
+                 make_hints(candidate), pool_.get(),
+                 options_.soa ? &views_arena_ : nullptr, needs_);
 }
 
 MovePlan Engine::compute_plan(const Graph& g, Round round,
@@ -161,7 +192,8 @@ MovePlan Engine::compute_plan(const Graph& g, Round round,
   raw.reserve(robots_.size());
   for (const auto& r : robots_) raw.push_back(r.get());
   return plan_on(g, conf_, round, options_, arrival_ports_, active_, raw, ctx,
-                 ctx.packets(), make_hints(g), pool_.get());
+                 ctx.packets(), make_hints(g), pool_.get(),
+                 options_.soa ? &views_arena_ : nullptr, needs_);
 }
 
 void Engine::draw_activation() {
@@ -224,12 +256,13 @@ RunResult Engine::run() {
     res.stats.sc_evictions = sc_after.evictions - sc_before.evictions;
   };
 
-  std::vector<bool> ever_occupied(conf_.node_count(), false);
-  std::size_t explored = 0;
-  for (const NodeId v : conf_.occupied_nodes()) {
-    ever_occupied[v] = true;
-    ++explored;
-  }
+  // Exploration tracking on occupancy bitset words: ever-occupied is the
+  // running OR of the configuration's occupied words, and newly-occupied
+  // counts are popcounts of occ & ~ever -- no per-node scan, no per-round
+  // allocation.
+  std::vector<std::uint64_t> ever_words = conf_.occupied_words();
+  std::size_t explored = conf_.occupied_count();
+  res.stats.occupancy_words = ever_words.size();
   if (explored == conf_.node_count()) res.exploration_round = 0;
 
   if (options_.record_progress)
@@ -260,8 +293,13 @@ RunResult Engine::run() {
     draw_activation();
     // The round's shared artifacts: node index, occupancy diff, and state
     // lists -- rebuilt into the persistent context's retained buffers and
-    // valid for every candidate graph probed this round.
-    ctx_.begin_round(conf_, states_);
+    // valid for every candidate graph probed this round. The state-list
+    // refresh is skipped when no robot of the run reads exchanged states
+    // (SoA loop + aggregated ViewNeeds).
+    const bool build_state_lists = !options_.soa || needs_.colocated_states;
+    ctx_.begin_round(conf_, states_, build_state_lists);
+    if (!build_state_lists) ++res.stats.state_list_rounds_skipped;
+    if (options_.soa) ++res.stats.soa_rounds;
     round_ctx_ = &ctx_;
     if (adversary_.wants_plan_probe()) {
       adversary_.set_plan_probe(
@@ -360,6 +398,11 @@ RunResult Engine::run() {
 
     MovePlan plan = compute_plan(graph_, r, ctx_);
     round_ctx_ = nullptr;
+    if (options_.soa) {
+      for (std::size_t i = 0; i < active_.size(); ++i)
+        if (active_[i] && conf_.alive(static_cast<RobotId>(i + 1)))
+          ++res.stats.arena_views;
+    }
 
     bool crashed_this_round =
         !faults_.crashes_at(r, CrashPhase::kBeforeCommunicate).empty();
@@ -372,12 +415,23 @@ RunResult Engine::run() {
       }
     }
 
-    const Configuration before = conf_;
+    // The Move phase needs no start-of-round snapshot: each robot's source
+    // node is read from conf_ BEFORE its own write, and no robot reads
+    // another robot's position. The full copy exists solely for observers
+    // (invariant checkers, traces); the SoA loop elides it when nothing
+    // observes it.
+    const bool need_before =
+        !options_.soa || options_.invariant_checker || options_.record_trace;
+    Configuration before;
+    if (need_before)
+      before = conf_;
+    else
+      ++res.stats.before_copies_skipped;
     for (RobotId id = 1; id <= conf_.robot_count(); ++id) {
       if (!conf_.alive(id)) continue;
       const Port p = plan[id - 1];
       if (p == kInvalidPort) continue;
-      const HalfEdge& he = graph_.half_edge(before.position(id), p);
+      const HalfEdge& he = graph_.half_edge(conf_.position(id), p);
       conf_.set_position(id, he.to);
       arrival_ports_[id - 1] = he.reverse_port;
       ++res.total_moves;
@@ -393,13 +447,14 @@ RunResult Engine::run() {
     }
 
     std::size_t newly = 0;
-    for (const NodeId v : conf_.occupied_nodes()) {
-      if (!ever_occupied[v]) {
-        ever_occupied[v] = true;
-        ++newly;
-        ++explored;
-      }
+    const std::vector<std::uint64_t>& occ_words = conf_.occupied_words();
+    for (std::size_t w = 0; w < occ_words.size(); ++w) {
+      const std::uint64_t fresh = occ_words[w] & ~ever_words[w];
+      if (fresh == 0) continue;
+      newly += static_cast<std::size_t>(std::popcount(fresh));
+      ever_words[w] |= fresh;
     }
+    explored += newly;
     if (explored == conf_.node_count() &&
         res.exploration_round == RunResult::kNeverExplored) {
       res.exploration_round = r + 1;

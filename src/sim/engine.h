@@ -117,6 +117,17 @@ struct EngineOptions {
   /// suite proves it); disabling this reproduces the seed engine's behavior
   /// call-for-call, which is what --no-structure-cache exposes.
   bool structure_cache = true;
+  /// Struct-of-arrays round loop (docs/PERFORMANCE.md): views are filled
+  /// in place into a persistent per-robot arena instead of constructed
+  /// fresh each round, fields no robot's declared ViewNeeds covers are
+  /// skipped (per-node state lists, co-located and per-neighbor robot
+  /// lists), the full start-of-round Configuration copy is elided when
+  /// nothing observes it (no invariant checker, no trace), and robot
+  /// serialization reuses one BitWriter. Every skip is bitwise identical
+  /// to the assembled path (the SoA differential suite proves it);
+  /// disabling this reproduces the per-round-allocating layout, which is
+  /// what --no-soa exposes for differential proofs.
+  bool soa = true;
   /// Record a full per-round trace (heavy).
   bool record_trace = false;
   /// Record per-round occupied counts (cheap) for progress plots.
@@ -155,6 +166,13 @@ struct RoundLoopStats {
   std::size_t state_handles_reused = 0; ///< Unchanged serialized states kept by handle.
   std::size_t node_state_lists_reused = 0;  ///< Per-node state lists kept by handle.
   std::size_t scratch_reuses = 0;       ///< Round buffers refilled in place.
+  /// SoA round-loop counters (EngineOptions::soa; observability only, like
+  /// everything in this struct).
+  std::size_t soa_rounds = 0;           ///< Rounds run through the arena path.
+  std::size_t arena_views = 0;          ///< Views filled into arena slots.
+  std::size_t state_list_rounds_skipped = 0;  ///< begin_round state-list builds skipped (ViewNeeds).
+  std::size_t before_copies_skipped = 0;      ///< Start-of-round Configuration copies elided.
+  std::size_t occupancy_words = 0;      ///< Words per occupancy bitset (ceil(n/64)).
   /// StructureCache (planner-layer) counters: per-run deltas of the
   /// process-wide totals. Exact when one run executes at a time; advisory
   /// under concurrent runs (campaign mode does not record them).
@@ -235,6 +253,14 @@ class Engine {
   /// one serialization per robot per round the simulation performs.
   std::vector<StateHandle> states_;
   std::vector<std::size_t> state_bits_;  ///< Bit counts of states_ entries.
+  BitWriter state_writer_;  ///< Reused serialization sink (refresh_state).
+
+  /// SoA round loop (options_.soa): the field-wise OR of every robot's
+  /// declared ViewNeeds, and the persistent per-robot view arena plan_on
+  /// fills in place (mutable: plan probes are const and share it -- probes
+  /// and the real compute phase run strictly sequentially).
+  ViewNeeds needs_;
+  mutable std::vector<RobotView> views_arena_;
 
   /// Compute-phase pool (null when options_.threads <= 1).
   std::unique_ptr<ThreadPool> pool_;
@@ -268,6 +294,9 @@ class Engine {
   /// `packets` is the (possibly candidate) broadcast for `g`; shared round
   /// artifacts come from `ctx`; `hints` ride into every view (invalid hints
   /// when the broadcast is not a pure function of (g, conf, model)).
+  /// When `view_arena` is non-null (SoA loop) views are filled in place
+  /// into its slots under `needs` gating; null runs the per-round
+  /// allocating layout with full views.
   static MovePlan plan_on(const Graph& g, const Configuration& conf,
                           Round round, const EngineOptions& options,
                           const std::vector<Port>& arrival_ports,
@@ -275,7 +304,9 @@ class Engine {
                           const std::vector<RobotAlgorithm*>& robots,
                           const RoundContext& ctx,
                           std::shared_ptr<const std::vector<InfoPacket>> packets,
-                          const ReuseHints& hints, ThreadPool* pool);
+                          const ReuseHints& hints, ThreadPool* pool,
+                          std::vector<RobotView>* view_arena,
+                          const ViewNeeds& needs);
 
   /// Hints describing the broadcast for graph `g` this round; valid only
   /// when the structure-cache loop is on, communication is global, and no

@@ -11,7 +11,8 @@
 namespace dyndisp {
 
 void RoundContext::begin_round(const Configuration& conf,
-                               const std::vector<StateHandle>& states) {
+                               const std::vector<StateHandle>& states,
+                               bool build_state_lists) {
   assert(states.size() == conf.robot_count());
   const std::size_t n = conf.node_count();
 
@@ -25,38 +26,34 @@ void RoundContext::begin_round(const Configuration& conf,
   packet_nodes_.clear();
   packet_bits_ = 0;
 
-  // Rebuild the node index into the retained double buffer: the inner
-  // vectors keep their capacity across rounds, so steady-state rounds
-  // allocate nothing here.
-  prev_index_.swap(index_);
-  const bool index_fits = index_.size() == n;
-  if (index_fits) {
-    for (auto& node : index_) node.clear();
-    ++counters_.scratch_reuses;
-  } else {
-    index_.assign(n, {});
-  }
+  // Rebuild the node index into the retained CSR double buffer: a counting
+  // sort into two flat arrays whose capacity persists across rounds, so
+  // steady-state rounds allocate nothing here.
+  std::swap(prev_index_, index_);
+  if (index_.node_count() == n) ++counters_.scratch_reuses;
+  index_.build(conf);
   conf_digest_ = 0;
   for (RobotId id = 1; id <= conf.robot_count(); ++id) {
     if (!conf.alive(id)) continue;
-    const NodeId pos = conf.position(id);
-    index_[pos].push_back(id);
-    conf_digest_ ^=
-        fp_mix((static_cast<std::uint64_t>(id) << 32) | pos);
+    conf_digest_ ^= fp_mix((static_cast<std::uint64_t>(id) << 32) |
+                           conf.position(id));
   }
 
   // Diff occupancy against the previous round. A node-count change (never
   // happens mid-run under one adversary, but contexts are reusable) voids
   // the comparison basis and the retired broadcast with it.
   changed_nodes_.clear();
-  if (first_round_ || prev_index_.size() != n) {
+  if (first_round_ || prev_index_.node_count() != n) {
     for (NodeId v = 0; v < n; ++v)
-      if (!index_[v].empty()) changed_nodes_.push_back(v);
+      if (!index_.empty(v)) changed_nodes_.push_back(v);
     occupancy_changed_ = true;
     prev_packets_ = nullptr;
   } else {
-    for (NodeId v = 0; v < n; ++v)
-      if (index_[v] != prev_index_[v]) changed_nodes_.push_back(v);
+    for (NodeId v = 0; v < n; ++v) {
+      if (index_.count(v) != prev_index_.count(v) ||
+          !std::equal(index_.begin(v), index_.end(v), prev_index_.begin(v)))
+        changed_nodes_.push_back(v);
+    }
     occupancy_changed_ = !changed_nodes_.empty();
   }
   first_round_ = false;
@@ -66,17 +63,22 @@ void RoundContext::begin_round(const Configuration& conf,
   // and every member's state handle still the one serialized for it. The
   // pointer compare IS the full condition -- robots that stepped get a
   // fresh handle from the engine, so stale content can never be retained.
+  // Skipped wholesale when the run's views never read exchanged states;
+  // a stale list kept across skipped rounds can never leak, because reuse
+  // always re-compares member handles against the current `states`.
   if (node_states_.size() != n) node_states_.assign(n, nullptr);
+  if (!build_state_lists) return;
   for (NodeId v = 0; v < n; ++v) {
-    const std::vector<RobotId>& here = index_[v];
-    if (here.empty()) {
+    if (index_.empty(v)) {
       node_states_[v] = nullptr;
       continue;
     }
+    const RobotId* here = index_.begin(v);
+    const std::size_t count = index_.count(v);
     const auto& old = node_states_[v];
-    bool reusable = old != nullptr && old->size() == here.size();
+    bool reusable = old != nullptr && old->size() == count;
     if (reusable) {
-      for (std::size_t i = 0; i < here.size(); ++i) {
+      for (std::size_t i = 0; i < count; ++i) {
         if ((*old)[i] != states[here[i] - 1]) {
           reusable = false;
           break;
@@ -88,8 +90,9 @@ void RoundContext::begin_round(const Configuration& conf,
       continue;
     }
     auto list = std::make_shared<std::vector<StateHandle>>();
-    list->reserve(here.size());
-    for (const RobotId id : here) list->push_back(states[id - 1]);
+    list->reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      list->push_back(states[here[i] - 1]);
     node_states_[v] = std::move(list);
   }
 }
@@ -147,7 +150,7 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
   std::vector<NodeId> nodes;
   nodes.reserve(conf.occupied_count());
   for (NodeId v = 0; v < n; ++v)
-    if (!index_[v].empty()) nodes.push_back(v);
+    if (!index_.empty(v)) nodes.push_back(v);
 
   std::vector<InfoPacket> assembled(nodes.size());
   std::vector<std::size_t> bits(nodes.size());
@@ -161,7 +164,7 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
       assembled[i] = (*prev_packets_)[static_cast<std::size_t>(pi)];
       bits[i] = prev_packet_bits_each_[static_cast<std::size_t>(pi)];
     } else {
-      assembled[i] = make_packet(g, conf, v, with_neighborhood, &index_);
+      assembled[i] = make_packet(g, conf, v, with_neighborhood, index_);
       bits[i] = packet_bit_size(assembled[i], k, n);
     }
   });

@@ -57,11 +57,15 @@ class RoundContext {
   /// state handle is unchanged), and retires the previous round's broadcast
   /// into the delta-assembly source. `states` holds every robot's
   /// serialized start-of-round state (id-1 indexed; dead robots' entries
-  /// are unused) and must outlive the round.
+  /// are unused) and must outlive the round. `build_state_lists` = false
+  /// skips the per-node state-list refresh entirely -- legal only when no
+  /// view of the round will read colocated_states (the engine derives this
+  /// from the run's aggregated ViewNeeds).
   void begin_round(const Configuration& conf,
-                   const std::vector<StateHandle>& states);
+                   const std::vector<StateHandle>& states,
+                   bool build_state_lists = true);
 
-  const NodeRobots& index() const { return index_; }
+  const NodeIndex& index() const { return index_; }
 
   /// The shared state list of node `v` (null for unoccupied nodes), parallel
   /// to index()[v]. Every view assembled on `v` attaches this same handle.
@@ -149,8 +153,8 @@ class RoundContext {
                       std::vector<std::size_t> bits,
                       std::vector<NodeId> nodes);
 
-  NodeRobots index_;
-  NodeRobots prev_index_;  ///< Double buffer: last round's index.
+  NodeIndex index_;
+  NodeIndex prev_index_;  ///< Double buffer: last round's index.
   bool first_round_ = true;
 
   std::vector<std::shared_ptr<const std::vector<StateHandle>>> node_states_;

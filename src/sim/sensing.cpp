@@ -12,70 +12,72 @@ namespace dyndisp {
 
 namespace {
 std::atomic<std::size_t> g_packet_assemblies{0};
-}  // namespace
 
-std::size_t packet_assembly_count() {
-  return g_packet_assemblies.load(std::memory_order_relaxed);
-}
+/// Contiguous read-only segment of robot IDs (one node's occupants).
+struct RobotSpan {
+  const RobotId* data = nullptr;
+  std::size_t size = 0;
+  bool empty() const { return size == 0; }
+  const RobotId* begin() const { return data; }
+  const RobotId* end() const { return data + size; }
+  RobotId front() const { return data[0]; }
+};
 
-NodeRobots robots_by_node(const Configuration& conf) {
-  NodeRobots index(conf.node_count());
-  for (RobotId id = 1; id <= conf.robot_count(); ++id)
-    if (conf.alive(id)) index[conf.position(id)].push_back(id);
-  return index;
-}
-
-InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
-                       bool with_neighborhood, const NodeRobots* index) {
-  NodeRobots local;
-  if (index == nullptr) {
-    local = robots_by_node(conf);
-    index = &local;
+/// Uniform accessors over the two index representations, so packet and view
+/// assembly are written once and produce identical output on both.
+struct VecIndex {
+  const NodeRobots* idx;
+  RobotSpan at(NodeId v) const {
+    const std::vector<RobotId>& r = (*idx)[v];
+    return {r.data(), r.size()};
   }
+};
+
+struct CsrIndex {
+  const NodeIndex* idx;
+  RobotSpan at(NodeId v) const { return {idx->begin(v), idx->count(v)}; }
+};
+
+template <class Index>
+InfoPacket make_packet_impl(const Graph& g, NodeId v, bool with_neighborhood,
+                            Index index) {
   InfoPacket pkt;
-  pkt.robots = (*index)[v];
-  assert(!pkt.robots.empty() && "packets originate from occupied nodes only");
-  pkt.sender = pkt.robots.front();
-  pkt.count = pkt.robots.size();
+  const RobotSpan here = index.at(v);
+  assert(!here.empty() && "packets originate from occupied nodes only");
+  pkt.robots.assign(here.begin(), here.end());
+  pkt.sender = here.front();
+  pkt.count = here.size;
   pkt.degree = g.degree(v);
   if (with_neighborhood) {
+    // Count first so the list is allocated exactly once.
+    std::size_t occupied = 0;
+    for (Port p = 1; p <= g.degree(v); ++p)
+      if (!index.at(g.neighbor(v, p)).empty()) ++occupied;
+    pkt.occupied_neighbors.reserve(occupied);
     for (Port p = 1; p <= g.degree(v); ++p) {
-      const NodeId w = g.neighbor(v, p);
-      const auto& robots_w = (*index)[w];
+      const RobotSpan robots_w = index.at(g.neighbor(v, p));
       if (robots_w.empty()) continue;
       NeighborInfo info;
       info.port = p;
       info.min_robot = robots_w.front();
-      info.count = robots_w.size();
-      info.robots = robots_w;
+      info.count = robots_w.size;
+      info.robots.assign(robots_w.begin(), robots_w.end());
       pkt.occupied_neighbors.push_back(std::move(info));
     }
   }
   return pkt;
 }
 
-std::vector<InfoPacket> make_all_packets(const Graph& g,
-                                         const Configuration& conf,
-                                         bool with_neighborhood,
-                                         const NodeRobots* index) {
-  NodeRobots local;
-  if (index == nullptr) {
-    local = robots_by_node(conf);
-    index = &local;
-  }
-  return make_all_packets_metered(g, conf, with_neighborhood, *index,
-                                  nullptr, nullptr);
-}
-
-std::vector<InfoPacket> make_all_packets_metered(
+template <class Index>
+std::vector<InfoPacket> make_all_packets_metered_impl(
     const Graph& g, const Configuration& conf, bool with_neighborhood,
-    const NodeRobots& index, std::size_t* wire_bits, ThreadPool* pool,
+    Index index, std::size_t* wire_bits, ThreadPool* pool,
     std::vector<std::size_t>* bits_each, std::vector<NodeId>* nodes_each) {
   g_packet_assemblies.fetch_add(1, std::memory_order_relaxed);
   std::vector<NodeId> senders;
   senders.reserve(conf.occupied_count());
   for (NodeId v = 0; v < conf.node_count(); ++v)
-    if (!index[v].empty()) senders.push_back(v);
+    if (!index.at(v).empty()) senders.push_back(v);
 
   const bool meter = wire_bits != nullptr || bits_each != nullptr;
   std::vector<InfoPacket> packets(senders.size());
@@ -83,7 +85,7 @@ std::vector<InfoPacket> make_all_packets_metered(
   const std::size_t k = conf.robot_count();
   const std::size_t n = conf.node_count();
   parallel_for(pool, senders.size(), [&](std::size_t i) {
-    packets[i] = make_packet(g, conf, senders[i], with_neighborhood, &index);
+    packets[i] = make_packet_impl(g, senders[i], with_neighborhood, index);
     if (meter) bits[i] = packet_bit_size(packets[i], k, n);
   });
   if (wire_bits) {
@@ -112,6 +114,133 @@ std::vector<InfoPacket> make_all_packets_metered(
   return sorted;
 }
 
+template <class Index>
+void fill_view_impl(RobotView& out, const Graph& g, const Configuration& conf,
+                    RobotId id, Round round, CommModel comm, bool neighborhood,
+                    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
+                    Index index, const ViewNeeds& needs) {
+  assert(conf.alive(id));
+  const NodeId v = conf.position(id);
+
+  out.self = id;
+  out.round = round;
+  out.k = conf.robot_count();
+  out.degree = g.degree(v);
+  out.node_count = conf.count_at(v);
+  out.colocated.clear();
+  if (needs.colocated) {
+    const RobotSpan here = index.at(v);
+    out.colocated.assign(here.begin(), here.end());
+  }
+  // Engine-owned fields: reset exactly as a fresh make_view result.
+  out.arrival_port = kInvalidPort;
+  out.colocated_states = nullptr;
+  out.reuse = ReuseHints{};
+
+  out.neighborhood_knowledge = neighborhood;
+  out.empty_ports.clear();
+  out.empty_neighbor_count = 0;
+  std::size_t neighbors_filled = 0;
+  if (neighborhood) {
+    for (Port p = 1; p <= g.degree(v); ++p) {
+      const RobotSpan robots_w = index.at(g.neighbor(v, p));
+      if (robots_w.empty()) {
+        ++out.empty_neighbor_count;
+        if (needs.empty_ports) out.empty_ports.push_back(p);
+        continue;
+      }
+      if (!needs.occupied_neighbors) continue;
+      // Reuse the slot (and its robots capacity) left from a prior fill.
+      if (neighbors_filled == out.occupied_neighbors.size())
+        out.occupied_neighbors.emplace_back();
+      NeighborInfo& info = out.occupied_neighbors[neighbors_filled++];
+      info.port = p;
+      info.min_robot = robots_w.front();
+      info.count = robots_w.size;
+      info.robots.assign(robots_w.begin(), robots_w.end());
+    }
+  }
+  if (out.occupied_neighbors.size() > neighbors_filled)
+    out.occupied_neighbors.resize(neighbors_filled);
+
+  out.global_comm = comm == CommModel::kGlobal;
+  out.shared_packets = out.global_comm ? packets : nullptr;
+}
+
+}  // namespace
+
+std::size_t packet_assembly_count() {
+  return g_packet_assemblies.load(std::memory_order_relaxed);
+}
+
+NodeRobots robots_by_node(const Configuration& conf) {
+  NodeRobots index(conf.node_count());
+  for (RobotId id = 1; id <= conf.robot_count(); ++id)
+    if (conf.alive(id)) index[conf.position(id)].push_back(id);
+  return index;
+}
+
+void NodeIndex::build(const Configuration& conf) {
+  const std::size_t n = conf.node_count();
+  const std::size_t k = conf.robot_count();
+  offsets_.assign(n + 1, 0);
+  for (RobotId id = 1; id <= k; ++id)
+    if (conf.alive(id)) ++offsets_[conf.position(id) + 1];
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  ids_.resize(offsets_[n]);
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (RobotId id = 1; id <= k; ++id)
+    if (conf.alive(id)) ids_[cursor_[conf.position(id)]++] = id;
+}
+
+InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
+                       bool with_neighborhood, const NodeRobots* index) {
+  NodeRobots local;
+  if (index == nullptr) {
+    local = robots_by_node(conf);
+    index = &local;
+  }
+  (void)conf;
+  return make_packet_impl(g, v, with_neighborhood, VecIndex{index});
+}
+
+InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
+                       bool with_neighborhood, const NodeIndex& index) {
+  (void)conf;
+  return make_packet_impl(g, v, with_neighborhood, CsrIndex{&index});
+}
+
+std::vector<InfoPacket> make_all_packets(const Graph& g,
+                                         const Configuration& conf,
+                                         bool with_neighborhood,
+                                         const NodeRobots* index) {
+  NodeRobots local;
+  if (index == nullptr) {
+    local = robots_by_node(conf);
+    index = &local;
+  }
+  return make_all_packets_metered(g, conf, with_neighborhood, *index,
+                                  nullptr, nullptr);
+}
+
+std::vector<InfoPacket> make_all_packets_metered(
+    const Graph& g, const Configuration& conf, bool with_neighborhood,
+    const NodeRobots& index, std::size_t* wire_bits, ThreadPool* pool,
+    std::vector<std::size_t>* bits_each, std::vector<NodeId>* nodes_each) {
+  return make_all_packets_metered_impl(g, conf, with_neighborhood,
+                                       VecIndex{&index}, wire_bits, pool,
+                                       bits_each, nodes_each);
+}
+
+std::vector<InfoPacket> make_all_packets_metered(
+    const Graph& g, const Configuration& conf, bool with_neighborhood,
+    const NodeIndex& index, std::size_t* wire_bits, ThreadPool* pool,
+    std::vector<std::size_t>* bits_each, std::vector<NodeId>* nodes_each) {
+  return make_all_packets_metered_impl(g, conf, with_neighborhood,
+                                       CsrIndex{&index}, wire_bits, pool,
+                                       bits_each, nodes_each);
+}
+
 std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,
                             std::size_t n) {
   const std::size_t id_bits = bit_width_for(k + 1);
@@ -133,44 +262,33 @@ RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
                     Round round, CommModel comm, bool neighborhood,
                     std::shared_ptr<const std::vector<InfoPacket>> packets,
                     const NodeRobots* index) {
-  assert(conf.alive(id));
   NodeRobots local;
   if (index == nullptr) {
     local = robots_by_node(conf);
     index = &local;
   }
-  const NodeId v = conf.position(id);
-
   RobotView view;
-  view.self = id;
-  view.round = round;
-  view.k = conf.robot_count();
-  view.degree = g.degree(v);
-  view.colocated = (*index)[v];
-  view.node_count = view.colocated.size();
-
-  view.neighborhood_knowledge = neighborhood;
-  if (neighborhood) {
-    for (Port p = 1; p <= g.degree(v); ++p) {
-      const NodeId w = g.neighbor(v, p);
-      const auto& robots_w = (*index)[w];
-      if (robots_w.empty()) {
-        view.empty_ports.push_back(p);
-        continue;
-      }
-      NeighborInfo info;
-      info.port = p;
-      info.robots = robots_w;
-      info.min_robot = info.robots.front();
-      info.count = info.robots.size();
-      view.occupied_neighbors.push_back(std::move(info));
-    }
-    view.empty_neighbor_count = view.empty_ports.size();
-  }
-
-  view.global_comm = comm == CommModel::kGlobal;
-  if (view.global_comm) view.shared_packets = std::move(packets);
+  fill_view_impl(view, g, conf, id, round, comm, neighborhood, packets,
+                 VecIndex{index}, ViewNeeds{});
   return view;
+}
+
+RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
+                    Round round, CommModel comm, bool neighborhood,
+                    std::shared_ptr<const std::vector<InfoPacket>> packets,
+                    const NodeIndex& index) {
+  RobotView view;
+  fill_view_impl(view, g, conf, id, round, comm, neighborhood, packets,
+                 CsrIndex{&index}, ViewNeeds{});
+  return view;
+}
+
+void fill_view(RobotView& out, const Graph& g, const Configuration& conf,
+               RobotId id, Round round, CommModel comm, bool neighborhood,
+               const std::shared_ptr<const std::vector<InfoPacket>>& packets,
+               const NodeIndex& index, const ViewNeeds& needs) {
+  fill_view_impl(out, g, conf, id, round, comm, neighborhood, packets,
+                 CsrIndex{&index}, needs);
 }
 
 }  // namespace dyndisp

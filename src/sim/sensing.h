@@ -97,12 +97,67 @@ struct RobotView {
 using NodeRobots = std::vector<std::vector<RobotId>>;
 NodeRobots robots_by_node(const Configuration& conf);
 
+/// CSR (compressed sparse row) node -> alive-robots index: all robot IDs in
+/// one contiguous array, per-node segments addressed by an offsets table.
+/// Same content as robots_by_node, but two allocations total instead of one
+/// vector per node, rebuilt in place by a counting sort -- allocation-free
+/// in steady state. This is the engine round loop's index (the NodeRobots
+/// form remains for tests and one-shot callers).
+class NodeIndex {
+ public:
+  /// Rebuilds the index for `conf` (counting sort over alive robots; robot
+  /// IDs ascend within each node's segment). Reuses retained buffers.
+  void build(const Configuration& conf);
+
+  std::size_t node_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Alive robots on node v, ascending: [begin(v), end(v)).
+  const RobotId* begin(NodeId v) const { return ids_.data() + offsets_[v]; }
+  const RobotId* end(NodeId v) const { return ids_.data() + offsets_[v + 1]; }
+  std::size_t count(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+  bool empty(NodeId v) const { return count(v) == 0; }
+  /// Total alive robots indexed.
+  std::size_t total() const { return ids_.size(); }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // n + 1
+  std::vector<RobotId> ids_;            // all alive robots, node-major
+  std::vector<std::uint32_t> cursor_;   // build scratch
+};
+
+/// Which optional RobotView fields an algorithm's step() actually reads.
+/// The engine's struct-of-arrays round loop (EngineOptions::soa) skips
+/// assembling fields no robot of the run declared -- skipping is observable
+/// only to a step() that reads a field its algorithm disclaimed, so results
+/// are unchanged by construction (and pinned by the SoA-vs-legacy
+/// differential suite). The all-true default keeps unported algorithms on
+/// full views.
+struct ViewNeeds {
+  bool colocated = true;           ///< RobotView::colocated IDs.
+  bool colocated_states = true;    ///< Exchanged per-node state lists.
+  bool occupied_neighbors = true;  ///< Per-neighbor robot lists.
+  bool empty_ports = true;         ///< Ports toward empty neighbors.
+
+  /// Field-wise OR (the engine aggregates over all robots of a run).
+  void merge(const ViewNeeds& o) {
+    colocated |= o.colocated;
+    colocated_states |= o.colocated_states;
+    occupied_neighbors |= o.occupied_neighbors;
+    empty_ports |= o.empty_ports;
+  }
+};
+
 /// Builds the packet broadcast by the (robots on the) node `v`.
 /// `with_neighborhood` controls whether neighbor information is included.
 /// `index` (optional) is a robots_by_node() result for this configuration.
 InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
                        bool with_neighborhood,
                        const NodeRobots* index = nullptr);
+
+/// CSR-index overload; identical output.
+InfoPacket make_packet(const Graph& g, const Configuration& conf, NodeId v,
+                       bool with_neighborhood, const NodeIndex& index);
 
 /// Builds all packets (one per occupied node), ascending by sender.
 std::vector<InfoPacket> make_all_packets(const Graph& g,
@@ -121,6 +176,13 @@ std::vector<InfoPacket> make_all_packets(const Graph& g,
 std::vector<InfoPacket> make_all_packets_metered(
     const Graph& g, const Configuration& conf, bool with_neighborhood,
     const NodeRobots& index, std::size_t* wire_bits, ThreadPool* pool = nullptr,
+    std::vector<std::size_t>* bits_each = nullptr,
+    std::vector<NodeId>* nodes_each = nullptr);
+
+/// CSR-index overload; identical output (the engine round loop's path).
+std::vector<InfoPacket> make_all_packets_metered(
+    const Graph& g, const Configuration& conf, bool with_neighborhood,
+    const NodeIndex& index, std::size_t* wire_bits, ThreadPool* pool = nullptr,
     std::vector<std::size_t>* bits_each = nullptr,
     std::vector<NodeId>* nodes_each = nullptr);
 
@@ -147,6 +209,24 @@ RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
                     Round round, CommModel comm, bool neighborhood,
                     std::shared_ptr<const std::vector<InfoPacket>> packets,
                     const NodeRobots* index = nullptr);
+
+/// CSR-index overload; identical output.
+RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
+                    Round round, CommModel comm, bool neighborhood,
+                    std::shared_ptr<const std::vector<InfoPacket>> packets,
+                    const NodeIndex& index);
+
+/// In-place view assembly for the engine's persistent view arena: fills
+/// `out` with exactly what make_view would produce for the fields `needs`
+/// declares (plus the unconditional scalars: self, round, k, degree,
+/// node_count, empty_neighbor_count, global_comm, shared_packets), reusing
+/// `out`'s vector capacities across rounds. Undeclared fields are left
+/// cleared. arrival_port, colocated_states, and reuse are reset for the
+/// engine to fill, as in make_view.
+void fill_view(RobotView& out, const Graph& g, const Configuration& conf,
+               RobotId id, Round round, CommModel comm, bool neighborhood,
+               const std::shared_ptr<const std::vector<InfoPacket>>& packets,
+               const NodeIndex& index, const ViewNeeds& needs);
 
 /// Convenience overload copying a plain packet vector (tests/examples).
 inline RobotView make_view(const Graph& g, const Configuration& conf,

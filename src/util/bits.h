@@ -24,6 +24,13 @@ class BitWriter {
   /// Writes a single flag bit.
   void write_bool(bool b) { write(b ? 1 : 0, 1); }
 
+  /// Resets to an empty sink, retaining the byte buffer's capacity so one
+  /// writer can serialize k robots per round without k allocations.
+  void clear() {
+    bytes_.clear();
+    bit_count_ = 0;
+  }
+
   /// Total bits written so far.
   [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
 

@@ -1,0 +1,170 @@
+// Tests for the struct-of-arrays round core (EngineOptions::soa): the
+// persistent view arena, ViewNeeds-gated state lists, and before-copy
+// elision are pure optimizations, so a run with the SoA core on must be
+// bitwise identical -- digest_run() equality -- to the legacy
+// allocate-per-round engine for every Table-I model row, every registered
+// adversary, and with crash faults in play. The fuzzer repeats this
+// differential over random configurations (check/fuzzer.cpp draws the soa
+// axis); this file pins the canonical rows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/blind_walk.h"
+#include "baselines/dfs_dispersion.h"
+#include "baselines/greedy_local.h"
+#include "campaign/registry.h"
+#include "check/differential.h"
+#include "check/trial.h"
+#include "core/dispersion.h"
+#include "dynamic/random_adversary.h"
+#include "robots/placement.h"
+#include "sim/engine.h"
+
+namespace dyndisp {
+namespace {
+
+using check::diff_soa;
+using check::digest_run;
+using check::Toolbox;
+using check::TrialConfig;
+
+// ---- Engine-level bitwise identity: SoA vs legacy ----
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(digest_run(a), digest_run(b));
+  // Digest equality implies all of these; spelled out so a failure names
+  // the first field that diverged instead of just two hashes.
+  EXPECT_EQ(a.dispersed, b.dispersed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.max_memory_bits, b.max_memory_bits);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packet_bits_sent, b.packet_bits_sent);
+  EXPECT_EQ(a.stalled_rounds, b.stalled_rounds);
+  EXPECT_EQ(a.max_occupied, b.max_occupied);
+  EXPECT_TRUE(a.final_config == b.final_config);
+}
+
+struct ModelRow {
+  const char* label;
+  CommModel comm;
+  bool neighborhood;
+  AlgorithmFactory factory;
+};
+
+RunResult run_row(const ModelRow& row, bool soa, bool structure_cache = true) {
+  const std::size_t n = 36, k = 24;
+  RandomAdversary adv(n, n / 3, 7);
+  EngineOptions opt;
+  opt.comm = row.comm;
+  opt.neighborhood_knowledge = row.neighborhood;
+  opt.max_rounds = 200;
+  opt.soa = soa;
+  opt.structure_cache = structure_cache;
+  Engine engine(adv, placement::rooted(n, k), row.factory, opt);
+  return engine.run();
+}
+
+const ModelRow kRows[] = {
+    {"global+nbhd (Algorithm 4, memoized)", CommModel::kGlobal, true,
+     core::dispersion_factory_memoized()},
+    {"global-only (blind walk)", CommModel::kGlobal, false,
+     baselines::blind_walk_factory()},
+    {"local-only (DFS dispersion)", CommModel::kLocal, false,
+     baselines::dfs_dispersion_factory()},
+    {"local+nbhd (greedy)", CommModel::kLocal, true,
+     baselines::greedy_local_factory()},
+};
+
+TEST(SoaDeterminism, AllTableOneModelRows) {
+  for (const ModelRow& row : kRows)
+    expect_identical(run_row(row, true), run_row(row, false), row.label);
+}
+
+TEST(SoaDeterminism, ComposesWithStructureCacheOff) {
+  // The two engine toggles are independent; all four corners of the
+  // (soa, structure_cache) square must agree.
+  for (const ModelRow& row : kRows) {
+    const RunResult base = run_row(row, true, true);
+    expect_identical(base, run_row(row, false, true),
+                     std::string(row.label) + " sc=on");
+    expect_identical(base, run_row(row, true, false),
+                     std::string(row.label) + " sc=off");
+    expect_identical(base, run_row(row, false, false),
+                     std::string(row.label) + " sc=off soa=off");
+  }
+}
+
+TEST(SoaDeterminism, ObservabilityCountersTrackTheActivePath) {
+  // The SoA run must say it ran SoA; the legacy run must not claim arena
+  // work it never performed (the counters feed bench analysis).
+  const RunResult flat = run_row(kRows[0], true);
+  EXPECT_GT(flat.stats.soa_rounds, 0u);
+  EXPECT_GT(flat.stats.arena_views, 0u);
+  // Algorithm 4 declares it only reads empty_ports, so the gated paths
+  // must actually fire for it.
+  EXPECT_GT(flat.stats.state_list_rounds_skipped, 0u);
+
+  const RunResult legacy = run_row(kRows[0], false);
+  EXPECT_EQ(legacy.stats.soa_rounds, 0u);
+  EXPECT_EQ(legacy.stats.arena_views, 0u);
+  EXPECT_EQ(legacy.stats.state_list_rounds_skipped, 0u);
+  EXPECT_EQ(legacy.stats.before_copies_skipped, 0u);
+}
+
+// ---- Registry-wide differential, with and without faults ----
+
+TEST(SoaDeterminism, EveryRegisteredAdversary) {
+  // diff_soa runs the trial twice (soa forced on, then off) through the
+  // exact construction path dyndisp_sim and the campaigns use, so this
+  // covers adversary-specific reuse hints (static replay, t-interval
+  // stability, churn deltas) against the arena path.
+  const Toolbox toolbox;
+  for (const std::string& adversary :
+       campaign::Registry::instance().adversary_names()) {
+    TrialConfig c;
+    c.adversary = adversary;
+    c.n = 24;
+    c.k = 16;
+    c.seed = 11;
+    const auto report = diff_soa(c, toolbox);
+    EXPECT_TRUE(report.ok) << adversary << ": " << report.detail;
+  }
+}
+
+TEST(SoaDeterminism, SurvivesCrashFaults) {
+  // Crashes change which robots sense and move mid-run; dead robots' arena
+  // slots must not leak stale views into the packet stream.
+  const Toolbox toolbox;
+  for (const std::uint64_t seed : {3u, 19u}) {
+    TrialConfig c;
+    c.n = 30;
+    c.k = 20;
+    c.faults = 5;
+    c.seed = seed;
+    const auto report = diff_soa(c, toolbox);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.detail;
+  }
+}
+
+// ---- Config plumbing ----
+
+TEST(SoaTrialConfig, JsonRoundTripAndSummarySuffix) {
+  TrialConfig c;
+  c.soa = false;
+  const TrialConfig back = TrialConfig::parse_json(c.to_json());
+  EXPECT_FALSE(back.soa);
+  EXPECT_NE(c.summary().find("|soa=off"), std::string::npos);
+  // On is the default and stays out of the summary (ids of pre-existing
+  // repro artifacts must not change).
+  c.soa = true;
+  EXPECT_EQ(c.summary().find("soa"), std::string::npos);
+  EXPECT_TRUE(TrialConfig::parse_json(c.to_json()).soa);
+}
+
+}  // namespace
+}  // namespace dyndisp

@@ -64,6 +64,11 @@ flags (all optional):
   --no-structure-cache disable the delta-aware round loop / structure cache
                        (results are identical either way; this exposes the
                        rebuild-everything engine for benchmarking)
+  --no-soa             disable the struct-of-arrays round core (persistent
+                       view arena, gated state lists, before-copy elision;
+                       results are identical either way; this exposes the
+                       legacy per-round-allocation path for differential
+                       proofs and benchmarking)
   --faults F           robots to crash at random rounds (default 0)
   --liars L            Byzantine liars (robots 1..L) (default 0)
   --lie KIND           hide-multiplicity | hide-empty | erratic
@@ -135,6 +140,7 @@ int main(int argc, char** argv) {
     options.allow_model_mismatch = true;
     options.record_progress = true;
     if (args.has("no-structure-cache")) options.structure_cache = false;
+    if (args.has("no-soa")) options.soa = false;
     if (activation < 1.0) {
       options.activation = Activation::kRandomSubset;
       options.activation_probability = activation;
