@@ -10,6 +10,12 @@
 # allowed to differ between runs; everything else in a record is claimed to
 # be a pure function of (spec, seed).
 #
+# A multi-process leg runs the spec through the campaign service
+# (coordinator + forked worker processes) at --workers 1 and --workers 4;
+# the merged shard stores must be BYTE-identical to the threads=1 store --
+# the service's determinism contract is stronger than the in-process
+# thread pool's because the merge rewrites records in job order.
+#
 # A fourth leg re-runs the campaign with the struct-of-arrays round core
 # disabled ("soa": false in the spec) and checks the record SET matches the
 # default (SoA) runs after normalizing the job-id/spec-hash suffix the
@@ -36,6 +42,15 @@ run a 1
 run b 1
 run c 4
 
+run_workers() {
+  # $1 = store subdir, $2 = worker process count
+  "$CAMPAIGN_BIN" run "$SPEC" --seeds 2 --workers "$2" --quiet --no-timing \
+    --out "$WORK/$1" > "$WORK/$1.stdout"
+}
+
+run_workers w1 1
+run_workers w4 4
+
 # Same spec with the SoA round core off ("soa": false spliced in after the
 # opening brace); identity claims are checked below.
 sed '0,/{/s//{ "soa": false,/' "$SPEC" > "$WORK/spec_soa_off.json"
@@ -48,6 +63,16 @@ cmp "$WORK/a/results.jsonl" "$WORK/b/results.jsonl" || {
   diff "$WORK/a/results.jsonl" "$WORK/b/results.jsonl" | head -10 >&2
   exit 1
 }
+
+# Multi-process service runs: merged stores byte-identical to threads=1,
+# at any worker count -- order included, no sorting allowed.
+for w in w1 w4; do
+  cmp "$WORK/a/results.jsonl" "$WORK/$w/results.jsonl" || {
+    echo "FAIL: service run $w differs bytewise from threads=1" >&2
+    diff "$WORK/a/results.jsonl" "$WORK/$w/results.jsonl" | head -10 >&2
+    exit 1
+  }
+done
 
 # threads=1 vs threads=4: same record set (sorted line comparison).
 sort "$WORK/a/results.jsonl" > "$WORK/a.sorted"
@@ -83,4 +108,4 @@ cmp "$WORK/report_a.txt" "$WORK/report_c.txt" || {
 }
 
 records=$(wc -l < "$WORK/a/results.jsonl")
-echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, soa on==off as sets)"
+echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, workers 1/4 bytewise, soa on==off as sets)"

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -26,9 +27,16 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+std::size_t resolve_auto_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
                              std::size_t threads, std::ostream* progress,
                              bool record_timing) {
+  threads = resolve_auto_threads(threads);
   // NOLINTNEXTLINE-dyndisp(determinism-wallclock): campaign wall_ms is
   // reporting-only metadata (manifest run counters), not replayable output.
   const auto campaign_start = std::chrono::steady_clock::now();
@@ -122,12 +130,14 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, ResultStore& store,
   outcome.failed = failed.load();
   outcome.completed = outcome.skipped + outcome.executed;
   outcome.wall_ms = ms_since(campaign_start);
+  outcome.threads = threads;
 
   RunCounters counters;
   counters.executed = outcome.executed;
   counters.skipped = outcome.skipped;
   counters.failed = outcome.failed;
   counters.wall_ms = outcome.wall_ms;
+  counters.threads = threads;
   store.record_run(spec, outcome.total, outcome.completed, counters);
   return outcome;
 }

@@ -24,9 +24,17 @@ struct CampaignOutcome {
   std::size_t failed = 0;    ///< Executed trials that threw.
   std::size_t completed = 0;
   double wall_ms = 0.0;      ///< Wall time of this invocation only.
+  std::size_t threads = 0;   ///< Worker lanes actually used (auto resolved).
 };
 
-/// Runs (or resumes) `spec` against `store` with `threads` worker lanes.
+/// Worker-lane count for `threads == 0` ("auto"): the machine's hardware
+/// concurrency, with a floor of 1 when it cannot be determined. Shared by
+/// the in-process scheduler and the service coordinator's process fleet.
+std::size_t resolve_auto_threads(std::size_t threads);
+
+/// Runs (or resumes) `spec` against `store` with `threads` worker lanes;
+/// `threads == 0` means auto (hardware concurrency), and the resolved value
+/// is echoed in the manifest's run counters so a stored run is reproducible.
 /// Throws std::invalid_argument if the store holds records of a different
 /// campaign (spec-hash mismatch). Writes the spec copy and the manifest;
 /// when `progress` is non-null, one line per completed job is streamed to it.

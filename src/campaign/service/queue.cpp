@@ -1,0 +1,322 @@
+#include "campaign/service/queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "campaign/service/coordinator.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "util/json.h"
+
+namespace dyndisp::campaign::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// "*.json" entries of `dir`, sorted by filename for a deterministic queue
+/// discipline.
+std::vector<fs::path> list_specs(const fs::path& dir) {
+  std::vector<fs::path> specs;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec))
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      specs.push_back(entry.path());
+  std::sort(specs.begin(), specs.end());
+  return specs;
+}
+
+std::size_t count_specs(const fs::path& dir) { return list_specs(dir).size(); }
+
+void write_text(const fs::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  if (!text.empty() && text.back() != '\n') out << '\n';
+}
+
+/// One admitted spec, parked in <spool>/active/.
+struct Queued {
+  fs::path path;          ///< active/<file>.json
+  std::string stem;       ///< file stem; names the result store.
+  std::string name;       ///< campaign name from the spec.
+  std::size_t jobs = 0;   ///< expanded job count (budget charge).
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& opts) : opts_(opts) {}
+
+  ServeReport run();
+
+ private:
+  fs::path spool(const char* sub) const {
+    return fs::path(opts_.spool_dir) / sub;
+  }
+  void log(const std::string& line) {
+    if (opts_.log != nullptr) {
+      (*opts_.log) << line << "\n";
+      opts_.log->flush();
+    }
+  }
+  void reject(const fs::path& from, const std::string& why);
+  void adopt_active();
+  void admit_incoming();
+  void run_front();
+  void write_status();
+
+  ServeOptions opts_;
+  ServeReport report_;
+  std::vector<Queued> queue_;   ///< Sorted by path.
+  std::size_t queued_jobs_ = 0;  ///< Budget charged by queue_.
+  std::size_t deferred_now_ = 0;  ///< Incoming specs deferred in last pass.
+  std::uint64_t seq_ = 0;       ///< status.json monotonic tick.
+  std::string running_stem_;    ///< Empty when idle.
+  std::size_t running_done_ = 0;
+  std::size_t running_total_ = 0;
+};
+
+void Server::reject(const fs::path& from, const std::string& why) {
+  const fs::path to = spool("rejected") / from.filename();
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  write_text(to.string() + ".error", why);
+  ++report_.specs_rejected;
+  log("reject " + from.filename().string() + ": " + why);
+}
+
+/// Re-queues specs a killed server left in active/ -- admitted work is
+/// never lost, and their partially-filled result stores resume.
+void Server::adopt_active() {
+  for (const fs::path& path : list_specs(spool("active"))) {
+    try {
+      const CampaignSpec spec = CampaignSpec::parse_file(path.string());
+      queue_.push_back(
+          Queued{path, path.stem().string(), spec.name(), spec.job_count()});
+      queued_jobs_ += queue_.back().jobs;
+      log("adopt " + path.filename().string() + " (" +
+          std::to_string(queue_.back().jobs) + " jobs)");
+    } catch (const std::exception& e) {
+      reject(path, e.what());
+    }
+  }
+  std::sort(queue_.begin(), queue_.end(),
+            [](const Queued& a, const Queued& b) { return a.path < b.path; });
+}
+
+void Server::admit_incoming() {
+  deferred_now_ = 0;
+  bool admitted = false;
+  for (const fs::path& path : list_specs(spool("incoming"))) {
+    std::size_t jobs = 0;
+    std::string name;
+    try {
+      const CampaignSpec spec = CampaignSpec::parse_file(path.string());
+      jobs = spec.job_count();
+      name = spec.name();
+    } catch (const std::exception& e) {
+      reject(path, e.what());
+      continue;
+    }
+    if (jobs > opts_.max_queued_jobs) {
+      reject(path, "spec expands to " + std::to_string(jobs) +
+                       " jobs, over the admission budget of " +
+                       std::to_string(opts_.max_queued_jobs) +
+                       " (can never fit)");
+      continue;
+    }
+    if (queued_jobs_ + jobs > opts_.max_queued_jobs) {
+      // Backpressure: fits in principle, not right now. Stays in incoming/
+      // and is retried after a running spec frees budget.
+      ++deferred_now_;
+      ++report_.deferrals;
+      log("defer " + path.filename().string() + " (" + std::to_string(jobs) +
+          " jobs; " + std::to_string(opts_.max_queued_jobs - queued_jobs_) +
+          " budget free)");
+      continue;
+    }
+    const fs::path to = spool("active") / path.filename();
+    fs::rename(path, to);
+    queue_.push_back(Queued{to, to.stem().string(), name, jobs});
+    queued_jobs_ += jobs;
+    admitted = true;
+    log("admit " + to.filename().string() + " (" + std::to_string(jobs) +
+        " jobs)");
+  }
+  if (admitted)
+    std::sort(queue_.begin(), queue_.end(),
+              [](const Queued& a, const Queued& b) { return a.path < b.path; });
+}
+
+void Server::write_status() {
+  const fs::path path = spool("status.json");
+  const fs::path tmp = spool("status.json.tmp");
+  {
+    std::ofstream out(tmp);
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("seq", seq_++);
+    w.key("running");
+    if (running_stem_.empty()) {
+      w.begin_object();  // keep a fixed shape: {} when idle
+      w.end_object();
+    } else {
+      w.begin_object();
+      w.member("store", running_stem_);
+      w.member("completed", static_cast<std::uint64_t>(running_done_));
+      w.member("total", static_cast<std::uint64_t>(running_total_));
+      w.end_object();
+    }
+    w.key("queued");
+    w.begin_array();
+    for (const Queued& q : queue_)
+      if (q.stem != running_stem_) w.value(q.path.filename().string());
+    w.end_array();
+    w.member("deferred_incoming",
+             static_cast<std::uint64_t>(deferred_now_));
+    w.key("counts");
+    w.begin_object();
+    w.member("done", static_cast<std::uint64_t>(count_specs(spool("done"))));
+    w.member("failed",
+             static_cast<std::uint64_t>(count_specs(spool("failed"))));
+    w.member("rejected",
+             static_cast<std::uint64_t>(count_specs(spool("rejected"))));
+    w.end_object();
+    w.key("budget");
+    w.begin_object();
+    w.member("max_queued_jobs",
+             static_cast<std::uint64_t>(opts_.max_queued_jobs));
+    w.member("queued_jobs", static_cast<std::uint64_t>(queued_jobs_));
+    w.end_object();
+    w.end_object();
+    out << '\n';
+  }
+  // Atomic swap: a concurrent `status` reader sees the old or the new
+  // snapshot, never a torn one.
+  fs::rename(tmp, path);
+}
+
+void Server::run_front() {
+  const Queued item = queue_.front();
+  queue_.erase(queue_.begin());
+  running_stem_ = item.stem;
+  running_done_ = 0;
+  running_total_ = item.jobs;
+  write_status();
+
+  std::string error;
+  bool ok = false;
+  try {
+    const CampaignSpec spec = CampaignSpec::parse_file(item.path.string());
+    ResultStore store((fs::path(opts_.out_dir) / item.stem).string());
+    CoordinatorOptions copts;
+    copts.workers = opts_.workers;
+    copts.worker_binary = opts_.worker_binary;
+    copts.record_timing = opts_.record_timing;
+    std::size_t ticks = 0;
+    copts.on_progress = [this, &ticks](std::size_t done, std::size_t total) {
+      running_done_ = done;
+      running_total_ = total;
+      if (++ticks % 8 == 0) write_status();  // throttle the rewrite
+    };
+    const ServiceOutcome outcome = run_coordinator(spec, store, copts);
+    ok = outcome.ok();
+    if (!ok) {
+      std::ostringstream why;
+      why << outcome.campaign.failed << " failed trial(s), "
+          << outcome.poisoned_jobs.size() << " poisoned job(s)";
+      for (const std::string& id : outcome.poisoned_jobs)
+        why << "\n  poisoned: " << id;
+      error = why.str();
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  const fs::path to =
+      spool(ok ? "done" : "failed") / item.path.filename();
+  std::error_code ec;
+  fs::rename(item.path, to, ec);
+  if (!ok) write_text(to.string() + ".error", error);
+  if (ok)
+    ++report_.specs_completed;
+  else
+    ++report_.specs_failed;
+  log(std::string(ok ? "done " : "failed ") + item.path.filename().string() +
+      (error.empty() ? "" : ": " + error));
+
+  queued_jobs_ -= std::min(queued_jobs_, item.jobs);
+  running_stem_.clear();
+  running_done_ = running_total_ = 0;
+  write_status();
+}
+
+ServeReport Server::run() {
+  for (const char* sub :
+       {"incoming", "active", "done", "failed", "rejected"})
+    fs::create_directories(spool(sub));
+  if (opts_.out_dir.empty())
+    opts_.out_dir = (fs::path(opts_.spool_dir) / "out").string();
+  fs::create_directories(opts_.out_dir);
+
+  adopt_active();
+  while (true) {
+    admit_incoming();
+    write_status();
+    if (!queue_.empty()) {
+      run_front();
+      continue;  // re-admit before the next spec: budget just freed
+    }
+    if (fs::exists(spool("stop"))) {
+      fs::remove(spool("stop"));
+      log("stop file consumed; shutting down");
+      break;
+    }
+    if (opts_.once) {
+      // Drained: nothing queued and nothing admissible. Deferred incoming
+      // specs would need budget no completed spec can free anymore.
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts_.poll_ms));
+  }
+  write_status();
+  return report_;
+}
+
+}  // namespace
+
+ServeReport run_serve(const ServeOptions& options) {
+  if (options.spool_dir.empty())
+    throw std::invalid_argument("serve: spool directory required");
+  Server server(options);
+  return server.run();
+}
+
+std::string render_spool_status(const std::string& spool_dir) {
+  std::ostringstream out;
+  out << "spool: " << spool_dir << "\n";
+  const fs::path root(spool_dir);
+  out << "  incoming: " << count_specs(root / "incoming")
+      << "  active: " << count_specs(root / "active")
+      << "  done: " << count_specs(root / "done")
+      << "  failed: " << count_specs(root / "failed")
+      << "  rejected: " << count_specs(root / "rejected") << "\n";
+  std::ifstream in(root / "status.json");
+  if (!in) {
+    out << "  (no status.json yet -- server never ran)\n";
+    return out.str();
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out << "status.json:\n" << buffer.str();
+  if (buffer.str().empty() || buffer.str().back() != '\n') out << "\n";
+  return out.str();
+}
+
+}  // namespace dyndisp::campaign::service

@@ -1,0 +1,63 @@
+// The campaign service queue: a long-running mode that watches a spool
+// directory, admits new specs while draining, and runs each through the
+// coordinator with per-spec progress and backpressure.
+//
+// Spool contract (all subdirectories are created on first run):
+//
+//   <spool>/incoming/   drop "<name>.json" campaign specs here
+//   <spool>/active/     admitted specs, queued or running (crash-safe: a
+//                       killed server's active specs are re-queued on start)
+//   <spool>/done/       specs whose campaigns completed with zero failures
+//   <spool>/failed/     specs with failed/poisoned jobs or run errors
+//                       (+ "<name>.json.error" holding the message)
+//   <spool>/rejected/   unparsable or never-admissible specs (+ .error)
+//   <spool>/status.json per-spec progress, rewritten atomically on every
+//                       admission and every few job completions
+//   <spool>/stop        touch to shut the server down after the current
+//                       spec (consumed on exit)
+//
+// Admission control / backpressure: every spec's expanded job count is
+// charged against `max_queued_jobs`. A spec that can never fit is rejected
+// outright; one that merely does not fit *right now* stays in incoming/ and
+// is retried after capacity frees (a deferral, not a rejection). Specs are
+// admitted and run in sorted filename order, so the queue discipline is
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+namespace dyndisp::campaign::service {
+
+struct ServeOptions {
+  std::string spool_dir;
+  std::string out_dir;      ///< Result stores; default "<spool>/out".
+  std::size_t workers = 0;  ///< Coordinator fleet per spec (0 = auto).
+  /// Admission budget: total expanded-but-unfinished jobs across admitted
+  /// specs (bounded in-flight work).
+  std::size_t max_queued_jobs = 1000000;
+  std::size_t poll_ms = 500;  ///< Idle rescan interval.
+  /// Drain mode: exit once incoming/ and active/ are empty instead of
+  /// waiting for more specs (tests, CI, cron).
+  bool once = false;
+  bool record_timing = true;
+  std::string worker_binary;  ///< Forwarded to the coordinator (tests).
+  std::ostream* log = nullptr;  ///< One line per admission/completion.
+};
+
+struct ServeReport {
+  std::size_t specs_completed = 0;
+  std::size_t specs_failed = 0;
+  std::size_t specs_rejected = 0;
+  std::size_t deferrals = 0;  ///< Admissions postponed by backpressure.
+};
+
+/// Runs the spool service until stopped (or drained, with `once`).
+ServeReport run_serve(const ServeOptions& options);
+
+/// Human-readable snapshot of a spool: status.json plus directory counts.
+/// Works while a server is live (status.json is written atomically).
+std::string render_spool_status(const std::string& spool_dir);
+
+}  // namespace dyndisp::campaign::service

@@ -1,0 +1,54 @@
+#include "campaign/service/shard.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace dyndisp::campaign::service {
+
+namespace fs = std::filesystem;
+
+std::string shard_dir(const std::string& root_dir, std::size_t index) {
+  return root_dir + "/shards/worker-" + std::to_string(index);
+}
+
+std::vector<std::string> list_shard_dirs(const std::string& root_dir) {
+  std::vector<std::string> dirs;
+  const fs::path shards = fs::path(root_dir) / "shards";
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(shards, ec)) {
+    if (!entry.is_directory()) continue;
+    if (entry.path().filename().string().rfind("worker-", 0) != 0) continue;
+    dirs.push_back(entry.path().string());
+  }
+  // directory_iterator order is filesystem-dependent; sort so merges and
+  // resume scans read shards in one fixed order.
+  std::sort(dirs.begin(), dirs.end());
+  return dirs;
+}
+
+std::vector<TrialRecord> load_shard_records(const std::string& root_dir) {
+  std::vector<TrialRecord> records;
+  for (const std::string& dir : list_shard_dirs(root_dir)) {
+    ResultStore shard(dir);
+    std::vector<TrialRecord> loaded = shard.load();
+    records.insert(records.end(), std::make_move_iterator(loaded.begin()),
+                   std::make_move_iterator(loaded.end()));
+  }
+  return records;
+}
+
+std::size_t merge_shards(ResultStore& root, bool remove_shards) {
+  // Root records go first so replace_all's first-occurrence-wins dedupe
+  // prefers what an earlier merge already committed over a shard replay.
+  std::vector<TrialRecord> records = root.load();
+  std::vector<TrialRecord> shard_records = load_shard_records(root.dir());
+  records.insert(records.end(),
+                 std::make_move_iterator(shard_records.begin()),
+                 std::make_move_iterator(shard_records.end()));
+  const std::size_t merged = root.replace_all(std::move(records));
+  if (remove_shards)
+    std::filesystem::remove_all(std::filesystem::path(root.dir()) / "shards");
+  return merged;
+}
+
+}  // namespace dyndisp::campaign::service

@@ -1,0 +1,43 @@
+// Shard-store layout and deterministic merge for the campaign service.
+//
+// A coordinator run keeps one ResultStore per worker process under the
+// root store:
+//
+//   <root>/results.jsonl            the merged, job-ordered store
+//   <root>/shards/worker-<i>/       a full ResultStore a worker appends to
+//       results.jsonl               (durable: fsync per record)
+//
+// Workers never touch the root file; the coordinator merges shard records
+// into it by (job index, seed) order via ResultStore::replace_all, which
+// makes the merged file bitwise identical to what a single-process
+// threads=1 run of the same jobs would have written. Shard directories are
+// removed after a successful merge; any left behind are the signature of a
+// killed coordinator, and the next run folds them in before scheduling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/store.h"
+
+namespace dyndisp::campaign::service {
+
+/// Directory of worker `index`'s shard store under `root_dir`.
+std::string shard_dir(const std::string& root_dir, std::size_t index);
+
+/// Existing shard directories under `root_dir`, sorted by name so every
+/// traversal of the shards is deterministic. Empty if none.
+std::vector<std::string> list_shard_dirs(const std::string& root_dir);
+
+/// Loads every record from every shard store under `root_dir`, in shard-name
+/// then file order (torn trailing lines tolerated per ResultStore::load).
+std::vector<TrialRecord> load_shard_records(const std::string& root_dir);
+
+/// Folds the root store's records and all shard records into the root's
+/// results.jsonl (sorted by job order, deduped by job id, atomic rewrite)
+/// and, when `remove_shards`, deletes the shard directories. Returns the
+/// merged record count.
+std::size_t merge_shards(ResultStore& root, bool remove_shards);
+
+}  // namespace dyndisp::campaign::service

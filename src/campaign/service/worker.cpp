@@ -1,0 +1,91 @@
+#include "campaign/service/worker.h"
+
+#include <csignal>
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+
+namespace dyndisp::campaign::service {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             // NOLINTNEXTLINE-dyndisp(determinism-wallclock): feeds only
+             // wall_ms, zeroed by --no-timing before byte comparisons;
+             // never part of a result digest.
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts, std::istream& in,
+               std::ostream& out) {
+  CampaignSpec spec = CampaignSpec::parse_file(opts.spec_path);
+  if (opts.seeds != 0) spec.set_seeds(opts.seeds);
+  const std::string spec_hash = spec.hash();
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  ResultStore store(opts.store_dir);
+  store.set_durable(true);
+
+  std::size_t appended = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::size_t index = 0;
+    try {
+      index = static_cast<std::size_t>(std::stoull(line));
+    } catch (const std::exception&) {
+      throw std::runtime_error("worker: bad job index line '" + line + "'");
+    }
+    if (index >= jobs.size())
+      throw std::runtime_error("worker: job index " + std::to_string(index) +
+                               " out of range (" +
+                               std::to_string(jobs.size()) + " jobs)");
+    if (index == opts.die_on_index) raise(SIGKILL);
+
+    const JobSpec& job = jobs[index];
+    TrialRecord record;
+    record.job = job;
+    record.spec_hash = spec_hash;
+    // NOLINTNEXTLINE-dyndisp(determinism-wallclock): per-record wall_ms
+    // only; --no-timing zeroes it for byte-exact store comparisons.
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const analysis::TrialSpec trial = make_trial_spec(job);
+      const RunResult result = analysis::run_trial(trial, job.seed);
+      record.dispersed = result.dispersed;
+      record.rounds = result.rounds;
+      record.moves = result.total_moves;
+      record.memory_bits = result.max_memory_bits;
+      record.max_occupied = result.max_occupied;
+      record.crashed = result.crashed;
+    } catch (const std::exception& e) {
+      record.ok = false;
+      record.error = e.what();
+    }
+    record.wall_ms = opts.record_timing ? ms_since(start) : 0.0;
+    store.append(record);
+    ++appended;
+    // Crash window under test: the record is durable but unacked; the
+    // coordinator must recover it from the shard store instead of
+    // re-running the job.
+    if (opts.die_after != 0 && appended >= opts.die_after) raise(SIGKILL);
+
+    out << "done " << index << (record.ok ? " ok " : " fail ")
+        << (record.dispersed ? 1 : 0) << ' ' << record.rounds << '\n';
+    out.flush();
+    if (!out) return 1;  // coordinator hung up mid-campaign
+  }
+  return 0;
+}
+
+}  // namespace dyndisp::campaign::service

@@ -1,0 +1,50 @@
+// The campaign service worker: one process, one shard store, jobs fed one
+// index at a time over stdin.
+//
+// Protocol (line-oriented, coordinator -> worker over stdin, worker ->
+// coordinator over stdout):
+//
+//   coordinator:  "<job-index>\n"        dispatch one job
+//   worker:       "done <job-index> ok <dispersed 0|1> <rounds>\n"
+//                 "done <job-index> fail 0 0\n"   trial threw; a failure
+//                                         record was appended (the campaign
+//                                         goes on; crash != trial failure)
+//
+// The worker appends each record to its shard ResultStore in durable mode
+// (fsync per record) BEFORE acknowledging, so an acked job is on disk and a
+// SIGKILL at any point loses at most one unacked, recoverable record. EOF
+// on stdin is the shutdown signal: the worker exits 0. Any protocol or
+// store error exits nonzero, which the coordinator treats as a crash and
+// requeues the in-flight job.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace dyndisp::campaign::service {
+
+struct WorkerOptions {
+  std::string spec_path;   ///< Spec the job indices refer to.
+  std::string store_dir;   ///< Shard ResultStore directory.
+  std::size_t seeds = 0;   ///< Seeds-per-tuple override (0 = spec's own).
+  bool record_timing = true;  ///< false zeroes per-record wall_ms.
+  /// Test hook (--die-after): SIGKILL self after appending this many
+  /// records, before acknowledging the last one (0 = off). Exercises the
+  /// crash-recovery path: the record is on disk but the coordinator never
+  /// sees the ack.
+  std::size_t die_after = 0;
+  /// Test hook (--die-on): SIGKILL self when dispatched this job index,
+  /// before running it -- a job that deterministically kills every worker
+  /// it lands on, for the fails-twice coordinator path.
+  std::size_t die_on_index = std::numeric_limits<std::size_t>::max();
+};
+
+/// Runs the worker loop over (in, out); returns the process exit code
+/// (0 = clean EOF shutdown). Throws std::exception subclasses on spec or
+/// store errors -- the CLI turns those into a nonzero exit.
+int run_worker(const WorkerOptions& opts, std::istream& in, std::ostream& out);
+
+}  // namespace dyndisp::campaign::service

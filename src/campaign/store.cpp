@@ -1,6 +1,11 @@
 #include "campaign/store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
@@ -11,10 +16,7 @@
 
 namespace dyndisp::campaign {
 
-namespace {
-
-/// One record as a single JSONL line (no internal newlines).
-std::string record_to_line(const TrialRecord& r) {
+std::string record_to_jsonl(const TrialRecord& r) {
   std::ostringstream out;
   out.precision(17);  // max_digits10: wall_ms round-trips exactly
   out << '{' << "\"job\": " << r.job.index << ", \"id\": \""
@@ -39,6 +41,8 @@ std::string record_to_line(const TrialRecord& r) {
       << '}';
   return out.str();
 }
+
+namespace {
 
 TrialRecord record_from_json(const JsonValue& v) {
   TrialRecord r;
@@ -112,6 +116,10 @@ ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
   std::filesystem::create_directories(dir_);
 }
 
+ResultStore::~ResultStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
 void ResultStore::initialize(const CampaignSpec& spec) {
   if (!std::filesystem::exists(spec_path())) {
     std::ofstream out(spec_path());
@@ -151,9 +159,9 @@ std::vector<TrialRecord> ResultStore::load() const {
 }
 
 void ResultStore::append(const TrialRecord& record) {
-  const std::string line = record_to_line(record);
+  const std::string line = record_to_jsonl(record) + '\n';
   std::lock_guard<std::mutex> lock(mu_);
-  if (!out_.is_open()) {
+  if (fd_ < 0) {
     // A killed run can leave a torn final line. Appending after it would
     // fuse the new record onto the fragment, corrupting the line mid-file;
     // truncate back to the last complete line first.
@@ -163,13 +171,81 @@ void ResultStore::append(const TrialRecord& record) {
       const std::uintmax_t keep = complete_prefix_size(results_path(), size);
       if (keep < size) std::filesystem::resize_file(results_path(), keep);
     }
-    out_.open(results_path(), std::ios::app);
-    if (!out_)
+    // CLOEXEC: the service coordinator fork/execs workers; they must not
+    // inherit (and hold open) the root store's append handle.
+    fd_ = ::open(results_path().c_str(),
+                 O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd_ < 0)
       throw std::runtime_error("cannot open " + results_path() +
-                               " for append");
+                               " for append: " + std::strerror(errno));
   }
-  out_ << line << '\n';
-  out_.flush();
+  // One write() per record: the line lands in the file in a single syscall,
+  // so concurrent appenders (worker threads sharing this store) never
+  // interleave bytes, and a kill between records never tears more than the
+  // final line.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("write to " + results_path() +
+                               " failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Durable mode pushes the record to disk before the job is acknowledged:
+  // a SIGKILL after append() then loses nothing, and a kill *during* it at
+  // most the torn line the recovery path truncates.
+  if (durable_ && ::fsync(fd_) != 0)
+    throw std::runtime_error("fsync of " + results_path() +
+                             " failed: " + std::strerror(errno));
+}
+
+std::size_t ResultStore::replace_all(std::vector<TrialRecord> records) {
+  // stable_sort keeps input order among duplicates of a job, so "first
+  // occurrence wins" holds as documented (duplicates arise when a crashed
+  // worker persisted a record the coordinator never saw acked and the job
+  // was re-run elsewhere; payloads agree, wall_ms may not).
+  std::stable_sort(records.begin(), records.end(),
+            [](const TrialRecord& a, const TrialRecord& b) {
+              if (a.job.index != b.job.index) return a.job.index < b.job.index;
+              return a.job.seed < b.job.seed;
+            });
+  const std::string tmp = results_path() + ".tmp";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Close the append handle so the rename below is not racing buffered
+    // writes; the next append() reopens against the merged file.
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  std::size_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp + " for write");
+    std::string last_id;
+    for (const TrialRecord& r : records) {
+      const std::string id = r.job.id();
+      if (!last_id.empty() && id == last_id) continue;  // dedupe by job id
+      out << record_to_jsonl(r) << '\n';
+      last_id = id;
+      ++written;
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("write to " + tmp + " failed");
+  }
+  if (durable_) {
+    // Make the merged contents durable before it replaces the old file.
+    const int tfd = ::open(tmp.c_str(), O_RDONLY);
+    if (tfd >= 0) {
+      ::fsync(tfd);
+      ::close(tfd);
+    }
+  }
+  std::filesystem::rename(tmp, results_path());
+  return written;
 }
 
 void ResultStore::record_run(const CampaignSpec& spec, std::size_t total_jobs,
@@ -195,6 +271,8 @@ void ResultStore::record_run(const CampaignSpec& spec, std::size_t total_jobs,
     w.member("skipped", static_cast<std::uint64_t>(run.skipped));
     w.member("failed", static_cast<std::uint64_t>(run.failed));
     w.member("wall_ms", run.wall_ms);
+    w.member("threads", static_cast<std::uint64_t>(run.threads));
+    w.member("workers", static_cast<std::uint64_t>(run.workers));
     w.end_object();
   }
   w.end_array();
@@ -221,6 +299,10 @@ std::vector<RunCounters> ResultStore::run_history() const {
           run.failed = static_cast<std::size_t>(f->as_uint());
         if (const JsonValue* f = item.find("wall_ms"))
           run.wall_ms = f->as_number();
+        if (const JsonValue* f = item.find("threads"))
+          run.threads = static_cast<std::size_t>(f->as_uint());
+        if (const JsonValue* f = item.find("workers"))
+          run.workers = static_cast<std::size_t>(f->as_uint());
         runs.push_back(run);
       }
     }

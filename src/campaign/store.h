@@ -49,6 +49,12 @@ struct RunCounters {
   std::size_t skipped = 0;
   std::size_t failed = 0;
   double wall_ms = 0.0;
+  /// In-process worker lanes the invocation actually used (the resolved
+  /// value, never the "auto" sentinel) -- echoed so a stored run is
+  /// reproducible without knowing the machine it ran on.
+  std::size_t threads = 0;
+  /// Worker *processes* for coordinator runs (0 for in-process runs).
+  std::size_t workers = 0;
 };
 
 class ResultStore {
@@ -56,6 +62,9 @@ class ResultStore {
   /// Opens (creating if needed) the store directory. No files are written
   /// until initialize() or append().
   explicit ResultStore(std::string dir);
+  ~ResultStore();
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
 
   const std::string& dir() const { return dir_; }
   std::string spec_path() const { return dir_ + "/spec.json"; }
@@ -72,10 +81,27 @@ class ResultStore {
   /// throws std::runtime_error rather than silently dropping the tail.
   std::vector<TrialRecord> load() const;
 
-  /// Appends one record and flushes it; safe to call from worker threads.
-  /// The first append truncates any torn trailing line left by a killed run
-  /// so the new record starts on its own line.
+  /// Crash-tolerant mode: when on, every append() is fsync'd after the
+  /// write, so a SIGKILLed process loses at most the torn trailing line
+  /// that load()/append() already recover from. Service worker shards run
+  /// durable; the in-process scheduler keeps the cheaper flush-only mode.
+  void set_durable(bool durable) { durable_ = durable; }
+  bool durable() const { return durable_; }
+
+  /// Appends one record and flushes it (fsync when durable; see
+  /// set_durable); safe to call from worker threads. The first append
+  /// truncates any torn trailing line left by a killed run so the new
+  /// record starts on its own line.
   void append(const TrialRecord& record);
+
+  /// Atomically rewrites results.jsonl as `records` sorted by (job index,
+  /// seed) and deduplicated by job id (first occurrence in the sorted
+  /// order wins), via a temp file + rename so a crash mid-merge leaves
+  /// either the old or the new file, never a mix. Lines are serialized by
+  /// the same function append() uses, so a replace_all of the records a
+  /// single-threaded run would produce is bitwise identical to that run's
+  /// file. Returns the record count written.
+  std::size_t replace_all(std::vector<TrialRecord> records);
 
   /// Rewrites the manifest: campaign identity, job totals, completion count,
   /// and the full history of run counters (previous runs are preserved and
@@ -89,8 +115,14 @@ class ResultStore {
  private:
   std::string dir_;
   std::mutex mu_;
-  std::ofstream out_;  ///< Lazily opened append handle for results.jsonl.
+  int fd_ = -1;  ///< Lazily opened O_APPEND handle for results.jsonl.
+  bool durable_ = false;
 };
+
+/// One record as the exact single JSONL line append() writes (no trailing
+/// newline). Exposed so the service's shard merge and tests can reproduce
+/// store bytes without an append handle.
+std::string record_to_jsonl(const TrialRecord& record);
 
 /// Per-tuple aggregate of a campaign's records (seeds folded together).
 struct GroupSummary {
