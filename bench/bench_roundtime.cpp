@@ -1,9 +1,10 @@
 // Round-time perf harness: wall-clock cost of simulating Algorithm 4 per
 // robot-round, across adversaries, scales, compute-phase thread counts, and
-// the engine's two big round-loop switches -- the delta-aware structure
-// cache and the struct-of-arrays round core (EngineOptions::soa). Unlike
-// the theorem benches this one makes no claim about the paper -- it tracks
-// the ENGINE, so perf regressions in the round hot path (packet assembly,
+// the engine's three big round-loop switches -- the delta-aware structure
+// cache, the struct-of-arrays round core (EngineOptions::soa), and the flat
+// PacketArena broadcast backend (EngineOptions::flat_packets). Unlike the
+// theorem benches this one makes no claim about the paper -- it tracks the
+// ENGINE, so perf regressions in the round hot path (packet assembly,
 // state serialization, planning, cross-round reuse, view materialization)
 // show up as a number a CI job or a human can diff across commits. `--json`
 // writes BENCH_roundtime.json, a machine-readable sibling of the ASCII
@@ -13,31 +14,40 @@
 // `ring-worst` rewire every round (the cache can at best break even there),
 // while `static`, `t-interval`, and `scripted` replay graphs across rounds,
 // which is where the delta-aware loop earns its keep. A mega-scale section
-// (random adversary, random placement, k up to 10^5) exercises the regime
-// the SoA core was built for.
+// (random adversary, random placement, k up to 10^6) exercises the regime
+// the SoA core and the packet arena were built for; heap allocations are
+// counted per row (a process-global operator-new counter), which is where
+// the arena's headline -- the legacy broadcast's ~12M allocations per
+// k=10^5 run collapsing by >5x -- is visible.
 //
 //   bench_roundtime [--json] [--out=FILE] [--threads=1,8] [--reps=N]
 //                   [--smoke] [--validate[=FILE]]
 //
-// Each (adversary, k, threads) tuple runs a trio of engine paths -- both
-// toggles on (the default engine), cache off, and soa off -- so every
-// switch is diffed against the full default. `--smoke` shrinks the sweep to
-// one tiny size per adversary plus the k=4096 mega row (CI-friendly:
-// seconds, not minutes). Bare `--validate` checks, after the sweep, that
-// every tuple's engine paths agreed on all round observables
-// (robot_rounds, rounds, packet_mbits, dispersed) -- the two toggles claim
-// bitwise identity, and this is that claim at bench scale.
-// `--validate=FILE` parses a previously written JSON file, checks it
-// against schema v3 (field presence/types, soa on/off pairing, per-tuple
+// Each (adversary, k, threads) tuple runs a quartet of engine paths -- all
+// toggles on (the default engine), then cache / soa / flat off one at a
+// time -- so every switch is diffed against the full default. The k=10^6
+// mega row runs the default corner only (one legacy-path run at that scale
+// would add minutes for no new information; the toggles' identity is
+// pinned up through k=10^5). `--smoke` shrinks the sweep to one tiny size
+// per adversary plus the k=4096 mega row (CI-friendly: seconds, not
+// minutes). Bare `--validate` checks, after the sweep, that every tuple's
+// engine paths agreed on all round observables (robot_rounds, rounds,
+// packet_mbits, dispersed) -- the three toggles claim bitwise identity,
+// and this is that claim at bench scale. `--validate=FILE` parses a
+// previously written JSON file, checks it against schema v4 (field
+// presence/types, soa and flat on/off pairing below k=10^6, per-tuple
 // observable identity, reuse counters nonzero on the replay-heavy rows),
 // and exits -- no timing assertions, so it is safe on loaded CI machines.
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <new>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -54,12 +64,68 @@
 #include "util/json.h"
 #include "util/table.h"
 
+/// Process-global heap-allocation counter: every operator-new bumps it, so
+/// the delta across an engine.run() is the run's allocation count. The
+/// counter is the measurement the packet arena exists to improve, and it
+/// lives here (not in the library) so only the bench pays for it.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+// GCC's inliner pairs the replaceable operator new below with the default
+// allocator when it expands make_unique and then flags the std::free as
+// mismatched; the replacement is internally consistent (new -> malloc,
+// delete -> free), so the diagnostic is noise in this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+
+std::uint64_t heap_alloc_count() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using namespace dyndisp;
 
-constexpr std::uint64_t kSchemaVersion = 3;
+constexpr std::uint64_t kSchemaVersion = 4;
 constexpr std::uint64_t kSeed = 11;
+
+/// k at and above which only the default engine corner runs (and the
+/// validators stop demanding toggle pairing): the mega headline row.
+constexpr std::size_t kDefaultCornerOnlyK = 1000000;
 
 struct Row {
   std::string adversary;
@@ -68,6 +134,7 @@ struct Row {
   std::size_t threads = 1;
   bool structure_cache = true;
   bool soa = true;
+  bool flat_packets = true;
   Round rounds = 0;
   bool dispersed = false;
   std::uint64_t robot_rounds = 0;
@@ -75,6 +142,7 @@ struct Row {
   double robot_rounds_per_sec = 0;
   double packet_mbits = 0;
   double peak_rss_mb = 0;
+  std::uint64_t heap_allocs = 0;
   RoundLoopStats stats;
 };
 
@@ -136,13 +204,14 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name,
 }
 
 Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
-        bool structure_cache, bool soa, std::size_t reps) {
+        bool structure_cache, bool soa, bool flat_packets, std::size_t reps) {
   Row row;
   row.adversary = spec.name;
   row.k = k;
   row.threads = threads;
   row.structure_cache = structure_cache;
   row.soa = soa;
+  row.flat_packets = flat_packets;
   // Median-free but repeatable: take the best of `reps` runs so a one-off
   // scheduler hiccup does not masquerade as a regression.
   for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -157,14 +226,21 @@ Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
     opt.threads = threads;
     opt.structure_cache = structure_cache;
     opt.soa = soa;
+    opt.flat_packets = flat_packets;
     Engine engine(*adv, std::move(initial),
                   core::dispersion_factory_memoized(), opt);
+    const std::uint64_t allocs_before = heap_alloc_count();
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = engine.run();
     const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs = heap_alloc_count() - allocs_before;
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < row.wall_ms) row.wall_ms = ms;
+    // The round loop is deterministic, so rep 0 already warmed every
+    // process-global cache; take the min so one-time warmup allocations do
+    // not inflate the steady-state count.
+    if (rep == 0 || allocs < row.heap_allocs) row.heap_allocs = allocs;
     row.n = n;
     row.rounds = r.rounds;
     row.dispersed = r.dispersed;
@@ -218,6 +294,7 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
     w.member("threads", static_cast<std::uint64_t>(r.threads));
     w.member("structure_cache", r.structure_cache);
     w.member("soa", r.soa);
+    w.member("flat_packets", r.flat_packets);
     w.member("rounds", static_cast<std::uint64_t>(r.rounds));
     w.member("dispersed", r.dispersed);
     w.member("robot_rounds", r.robot_rounds);
@@ -225,6 +302,7 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
     w.member("robot_rounds_per_sec", r.robot_rounds_per_sec);
     w.member("packet_mbits", r.packet_mbits);
     w.member("peak_rss_mb", r.peak_rss_mb);
+    w.member("heap_allocs", r.heap_allocs);
     w.member("graph_reuses", static_cast<std::uint64_t>(r.stats.graph_reuses));
     w.member("validations_skipped",
              static_cast<std::uint64_t>(r.stats.validations_skipped));
@@ -244,6 +322,7 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
              static_cast<std::uint64_t>(r.stats.state_list_rounds_skipped));
     w.member("before_copies_skipped",
              static_cast<std::uint64_t>(r.stats.before_copies_skipped));
+    w.member("flat_rounds", static_cast<std::uint64_t>(r.stats.flat_rounds));
     w.end_object();
   }
   w.end_array();
@@ -277,7 +356,8 @@ void validate_rows(const std::vector<Row>& rows) {
     const Row& a = *obs.first;
     const auto corner = [](const Row& r) {
       return std::string(r.structure_cache ? "cache=on" : "cache=off") +
-             (r.soa ? ",soa=on" : ",soa=off");
+             (r.soa ? ",soa=on" : ",soa=off") +
+             (r.flat_packets ? ",flat=on" : ",flat=off");
     };
     const auto diverged = [&](const char* what, const std::string& va,
                               const std::string& vb) {
@@ -301,7 +381,7 @@ void validate_rows(const std::vector<Row>& rows) {
               tuples.size());
 }
 
-// ---- --validate=FILE: schema v3 checks, no timing assertions ----
+// ---- --validate=FILE: schema v4 checks, no timing assertions ----
 
 const JsonValue& req(const JsonValue& obj, const std::string& key) {
   const JsonValue* v = obj.find(key);
@@ -324,18 +404,20 @@ int validate_file(const std::string& path) {
   if (rows.empty()) fail("'results' is empty");
 
   static const char* const kUints[] = {
-      "k", "n", "threads", "rounds", "robot_rounds",
+      "k", "n", "threads", "rounds", "robot_rounds", "heap_allocs",
       "graph_reuses", "validations_skipped", "broadcasts_reused",
       "broadcast_deltas", "packets_copied", "packets_rebuilt",
       "sc_exact_hits", "sc_components_reused", "soa_rounds", "arena_views",
-      "state_list_rounds_skipped", "before_copies_skipped"};
+      "state_list_rounds_skipped", "before_copies_skipped", "flat_rounds"};
   static const char* const kNumbers[] = {"wall_ms", "robot_rounds_per_sec",
                                          "packet_mbits", "peak_rss_mb"};
-  /// Per (adversary, k, threads) tuple: which soa sides appeared (1 = off,
-  /// 2 = on; both are required) and the observables every engine path must
-  /// agree on.
+  /// Per (adversary, k, threads) tuple: which soa/flat sides appeared
+  /// (1 = off, 2 = on; both required below the default-corner-only scale)
+  /// and the observables every engine path must agree on.
   struct Tuple {
     unsigned soa_sides = 0;
+    unsigned flat_sides = 0;
+    std::uint64_t k = 0;
     bool seen = false;
     std::uint64_t robot_rounds = 0;
     std::uint64_t rounds = 0;
@@ -350,12 +432,15 @@ int validate_file(const std::string& path) {
     (void)req(row, "dispersed").as_bool();
     const bool cache = req(row, "structure_cache").as_bool();
     const bool soa = req(row, "soa").as_bool();
+    const bool flat = req(row, "flat_packets").as_bool();
     const std::string tuple = adversary + "/k=" +
                               std::to_string(req(row, "k").as_uint()) +
                               "/t=" +
                               std::to_string(req(row, "threads").as_uint());
     Tuple& t = tuples[tuple];
     t.soa_sides |= soa ? 2u : 1u;
+    t.flat_sides |= flat ? 2u : 1u;
+    t.k = req(row, "k").as_uint();
     // Every engine path of a tuple ran the identical round sequence; the
     // round observables must say so.
     if (!t.seen) {
@@ -382,6 +467,15 @@ int validate_file(const std::string& path) {
           fail(tuple + ": soa-off row has nonzero " + key);
       }
     }
+    // The flat counter must track the path that actually ran: every
+    // executed round of a flat row broadcasts through the arena (all bench
+    // rows are global-comm Algorithm 4), and a legacy row must claim none.
+    if (flat) {
+      if (req(row, "flat_rounds").as_uint() != req(row, "rounds").as_uint())
+        fail(tuple + ": flat row did not broadcast every round via the arena");
+    } else if (req(row, "flat_rounds").as_uint() != 0) {
+      fail(tuple + ": flat-off row has nonzero flat_rounds");
+    }
     if (!cache) {
       // The rebuild-everything loop must not report reuse it cannot perform.
       for (const char* key : {"graph_reuses", "broadcasts_reused",
@@ -404,9 +498,15 @@ int validate_file(const std::string& path) {
     }
   }
   for (const auto& [tuple, t] : tuples) {
+    // The headline mega row runs the default corner only; no pairing there.
+    if (t.k >= kDefaultCornerOnlyK) continue;
     if (t.soa_sides != 3u)
       fail(tuple + ": missing its soa-" +
            (t.soa_sides == 1u ? std::string("on") : std::string("off")) +
+           " row");
+    if (t.flat_sides != 3u)
+      fail(tuple + ": missing its flat-" +
+           (t.flat_sides == 1u ? std::string("on") : std::string("off")) +
            " row");
   }
   std::printf("validate: %s ok (%zu rows, schema v%llu)\n", path.c_str(),
@@ -415,11 +515,16 @@ int validate_file(const std::string& path) {
   return 0;
 }
 
-/// The engine paths each tuple runs: both toggles on (the default engine),
+/// The engine paths each tuple runs: all toggles on (the default engine),
 /// then each toggle off alone, so every switch is diffed against the full
-/// default. (cache, soa) pairs.
-constexpr std::pair<bool, bool> kCorners[] = {
-    {true, true}, {false, true}, {true, false}};
+/// default. (cache, soa, flat) triples.
+struct Corner {
+  bool cache, soa, flat;
+};
+constexpr Corner kCorners[] = {{true, true, true},
+                               {false, true, true},
+                               {true, false, true},
+                               {true, true, false}};
 
 }  // namespace
 
@@ -446,7 +551,7 @@ int main(int argc, char** argv) try {
             : std::vector<std::size_t>{64, 128, 256, 512};
   const std::vector<std::size_t> mega_sizes =
       smoke ? std::vector<std::size_t>{4096}
-            : std::vector<std::size_t>{4096, 65536, 100000};
+            : std::vector<std::size_t>{4096, 65536, 100000, 1000000};
 
   std::printf("== Round-time harness: engine wall-clock per robot-round ==\n");
   bool ok = true;
@@ -454,18 +559,23 @@ int main(int argc, char** argv) try {
   const auto sweep = [&](const AdversarySpec& spec, const std::string& title,
                          const std::vector<std::size_t>& ks,
                          const std::vector<std::size_t>& threads_list) {
-    AsciiTable table({"k", "threads", "cache", "soa", "rounds", "wall ms",
-                      "robot-rounds/s", "peak RSS MB", "packet Mbits"});
+    AsciiTable table({"k", "threads", "cache", "soa", "flat", "rounds",
+                      "wall ms", "robot-rounds/s", "peak RSS MB", "allocs",
+                      "packet Mbits"});
     table.set_title(title);
     for (const std::size_t k : ks) {
       for (const std::size_t threads : threads_list) {
-        double base_rate = 0;  // the both-on default engine's rate
-        for (const auto& [cache, soa] : kCorners) {
-          const Row row = run(spec, k, threads, cache, soa, reps);
+        double base_rate = 0;  // the all-on default engine's rate
+        for (const auto& [cache, soa, flat] : kCorners) {
+          // The headline k=10^6 row runs the default corner only: one
+          // legacy-path run at that scale would add minutes for no new
+          // information (identity is pinned up through k=10^5).
+          if (k >= kDefaultCornerOnlyK && !(cache && soa && flat)) continue;
+          const Row row = run(spec, k, threads, cache, soa, flat, reps);
           ok &= row.dispersed;
           rows.push_back(row);
           std::string rate = fmt_double(row.robot_rounds_per_sec, 0);
-          if (cache && soa) {
+          if (cache && soa && flat) {
             base_rate = row.robot_rounds_per_sec;
           } else if (row.robot_rounds_per_sec > 0) {
             // Speedup the default engine shows over this degraded path.
@@ -475,9 +585,10 @@ int main(int argc, char** argv) try {
           }
           table.add_row({std::to_string(row.k), std::to_string(row.threads),
                          cache ? "on" : "off", soa ? "on" : "off",
-                         std::to_string(row.rounds),
+                         flat ? "on" : "off", std::to_string(row.rounds),
                          fmt_double(row.wall_ms, 1), rate,
                          fmt_double(row.peak_rss_mb, 0),
+                         std::to_string(row.heap_allocs),
                          fmt_double(row.packet_mbits, 2)});
         }
       }

@@ -22,6 +22,11 @@
 # option adds -- cross-process proof that both engine cores produce the
 # same records.
 #
+# A fifth leg does the same with the flat PacketArena broadcast backend
+# disabled ("flat_packets": false): the legacy vector<InfoPacket> broadcast
+# must produce the identical record set, which is the wire-format identity
+# claim checked across processes rather than inside one.
+#
 # usage: check_determinism.sh <dyndisp_campaign> <spec.json> <work-dir>
 set -eu
 
@@ -57,6 +62,11 @@ sed '0,/{/s//{ "soa": false,/' "$SPEC" > "$WORK/spec_soa_off.json"
 "$CAMPAIGN_BIN" run "$WORK/spec_soa_off.json" --seeds 2 --threads 1 --quiet \
   --no-timing --out "$WORK/d" > "$WORK/d.stdout"
 
+# And with the flat packet arena off ("flat_packets": false spliced in).
+sed '0,/{/s//{ "flat_packets": false,/' "$SPEC" > "$WORK/spec_flat_off.json"
+"$CAMPAIGN_BIN" run "$WORK/spec_flat_off.json" --seeds 2 --threads 1 --quiet \
+  --no-timing --out "$WORK/e" > "$WORK/e.stdout"
+
 # Two independent single-threaded processes: byte-identical, order included.
 cmp "$WORK/a/results.jsonl" "$WORK/b/results.jsonl" || {
   echo "FAIL: threads=1 runs differ byte-for-byte" >&2
@@ -83,10 +93,12 @@ cmp "$WORK/a.sorted" "$WORK/c.sorted" || {
   exit 1
 }
 
-# SoA on (a) vs off (d): same records up to the "|soa=off" id suffix and
-# the spec hash, both of which the option changes by design.
+# SoA on (a) vs off (d), flat on (a) vs off (e): same records up to the
+# "|soa=off" / "|flat=off" id suffix and the spec hash, all of which the
+# options change by design.
 normalize() {
-  sed -e 's/|soa=off//' -e 's/"spec_hash": "[0-9a-f]*"/"spec_hash": "-"/' \
+  sed -e 's/|soa=off//' -e 's/|flat=off//' \
+    -e 's/"spec_hash": "[0-9a-f]*"/"spec_hash": "-"/' \
     "$1" | sort
 }
 normalize "$WORK/a/results.jsonl" > "$WORK/a.norm"
@@ -94,6 +106,12 @@ normalize "$WORK/d/results.jsonl" > "$WORK/d.norm"
 cmp "$WORK/a.norm" "$WORK/d.norm" || {
   echo "FAIL: SoA-on and SoA-off record sets differ" >&2
   diff "$WORK/a.norm" "$WORK/d.norm" | head -10 >&2
+  exit 1
+}
+normalize "$WORK/e/results.jsonl" > "$WORK/e.norm"
+cmp "$WORK/a.norm" "$WORK/e.norm" || {
+  echo "FAIL: flat-packets-on and -off record sets differ" >&2
+  diff "$WORK/a.norm" "$WORK/e.norm" | head -10 >&2
   exit 1
 }
 
@@ -108,4 +126,4 @@ cmp "$WORK/report_a.txt" "$WORK/report_c.txt" || {
 }
 
 records=$(wc -l < "$WORK/a/results.jsonl")
-echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, workers 1/4 bytewise, soa on==off as sets)"
+echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, workers 1/4 bytewise, soa on==off as sets, flat on==off as sets)"

@@ -50,6 +50,7 @@ std::string JobSpec::id() const {
   // (stores resume across this option's introduction).
   if (!structure_cache) out << "|sc=off";
   if (!soa) out << "|soa=off";
+  if (!flat_packets) out << "|flat=off";
   return out.str();
 }
 
@@ -86,6 +87,7 @@ analysis::TrialSpec make_trial_spec(const JobSpec& job) {
   options.threads = 1;  // campaign parallelism is across jobs, not robots
   options.structure_cache = job.structure_cache;
   options.soa = job.soa;
+  options.flat_packets = job.flat_packets;
   spec.options = options;
   return spec;
 }
@@ -97,7 +99,8 @@ CampaignSpec CampaignSpec::parse_json(const std::string& text) {
 
   static const char* const known_keys[] = {
       "name",  "axes",      "family",     "placement",       "groups",
-      "seeds", "base_seed", "max_rounds", "structure_cache", "soa"};
+      "seeds", "base_seed", "max_rounds", "structure_cache", "soa",
+      "flat_packets"};
   for (const auto& [key, value] : doc.members()) {
     bool known = false;
     for (const char* k : known_keys) known |= key == k;
@@ -147,6 +150,8 @@ CampaignSpec CampaignSpec::parse_json(const std::string& text) {
   if (const JsonValue* v = doc.find("structure_cache"))
     spec.structure_cache_ = v->as_bool();
   if (const JsonValue* v = doc.find("soa")) spec.soa_ = v->as_bool();
+  if (const JsonValue* v = doc.find("flat_packets"))
+    spec.flat_packets_ = v->as_bool();
   if (spec.seeds_ == 0)
     throw std::invalid_argument("\"seeds\" must be at least 1");
 
@@ -219,6 +224,7 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                 job.seed = base_seed_ + s;
                 job.structure_cache = structure_cache_;
                 job.soa = soa_;
+                job.flat_packets = flat_packets_;
                 jobs.push_back(std::move(job));
               }
   return jobs;
@@ -247,6 +253,7 @@ std::string CampaignSpec::canonical() const {
   // across this option's introduction.
   if (!structure_cache_) out << ";sc=off";
   if (!soa_) out << ";soa=off";
+  if (!flat_packets_) out << ";flat=off";
   return out.str();
 }
 

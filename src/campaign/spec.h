@@ -21,7 +21,8 @@
 //     "base_seed": 1,                     // first seed [1]
 //     "max_rounds": 0,                    // 0 = 100*k (dyndisp_sim default)
 //     "structure_cache": true,            // delta-aware round loop [true]
-//     "soa": true                         // struct-of-arrays round core [true]
+//     "soa": true,                        // struct-of-arrays round core [true]
+//     "flat_packets": true                // flat PacketArena broadcasts [true]
 //   }
 //
 // Every name is validated against the campaign registry at parse time, so a
@@ -60,6 +61,9 @@ struct JobSpec {
   /// EngineOptions::soa for the job (spec key "soa"; the struct-of-arrays
   /// round core is on by default).
   bool soa = true;
+  /// EngineOptions::flat_packets for the job (spec key "flat_packets"; the
+  /// flat PacketArena broadcast backend is on by default).
+  bool flat_packets = true;
 
   /// Canonical id, e.g. "alg4|random|n=20|k=12|comm=default|f=0|seed=3"
   /// (+ "|sc=off" when the structure cache is disabled). Uniquely
@@ -135,6 +139,7 @@ class CampaignSpec {
   Round max_rounds_ = 0;
   bool structure_cache_ = true;
   bool soa_ = true;
+  bool flat_packets_ = true;
 };
 
 }  // namespace dyndisp::campaign

@@ -53,6 +53,17 @@ DiffReport diff_soa(const TrialConfig& config, const Toolbox& toolbox) {
   return compare("soa", "soa=on", flat, "soa=off", legacy);
 }
 
+DiffReport diff_flat_packets(const TrialConfig& config,
+                             const Toolbox& toolbox) {
+  TrialConfig on = config;
+  on.flat_packets = true;
+  TrialConfig off = config;
+  off.flat_packets = false;
+  const RunResult arena = run_plain(on, toolbox, config.threads);
+  const RunResult legacy = run_plain(off, toolbox, config.threads);
+  return compare("packets", "flat=on", arena, "flat=off", legacy);
+}
+
 DiffReport diff_construction(const TrialConfig& config) {
   // Leg A: the campaign path, exactly as the scheduler drives it.
   campaign::JobSpec job;
@@ -69,6 +80,7 @@ DiffReport diff_construction(const TrialConfig& config) {
   job.seed = config.seed;
   job.structure_cache = config.structure_cache;
   job.soa = config.soa;
+  job.flat_packets = config.flat_packets;
   analysis::TrialSpec spec = campaign::make_trial_spec(job);
   spec.options.record_progress = true;
   const RunResult via_campaign = analysis::run_trial(spec, job.seed);
@@ -100,6 +112,7 @@ DiffReport diff_construction(const TrialConfig& config) {
   options.record_progress = true;
   options.structure_cache = config.structure_cache;
   options.soa = config.soa;
+  options.flat_packets = config.flat_packets;
   Engine engine(*adversary, std::move(initial), algo.factory, options,
                 std::move(schedule));
   const RunResult via_sim = engine.run();

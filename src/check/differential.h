@@ -22,6 +22,13 @@
 //                     before-copy elision) against the legacy
 //                     allocate-per-round engine. The mega-scale rebuild
 //                     claims bitwise identity; this oracle keeps it honest.
+//   * packets      -- the flat PacketArena broadcast backend
+//                     (EngineOptions::flat_packets, the default: CSR-style
+//                     robot pool + offset tables, refilled in place across
+//                     rounds) against the legacy per-round
+//                     std::vector<InfoPacket> broadcast. The wire format,
+//                     metering, and every downstream plan claim bitwise
+//                     identity; this oracle keeps that claim honest.
 //
 // "Bitwise identical" means digest_run() equality: every RunResult scalar,
 // the final configuration, and the per-round occupied counts.
@@ -61,5 +68,12 @@ struct DiffReport {
 /// soa value is ignored: both legs are forced explicitly.
 [[nodiscard]] DiffReport diff_soa(const TrialConfig& config,
                                   const Toolbox& toolbox);
+
+/// Runs `config` with the flat PacketArena broadcast backend on and off
+/// (both at the config's own thread count) and compares digests. The
+/// config's own flat_packets value is ignored: both legs are forced
+/// explicitly.
+[[nodiscard]] DiffReport diff_flat_packets(const TrialConfig& config,
+                                           const Toolbox& toolbox);
 
 }  // namespace dyndisp::check

@@ -39,6 +39,9 @@ TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
   // Likewise the struct-of-arrays round core: half the trials exercise the
   // legacy allocate-per-round engine so the oracles cover both cores.
   c.soa = rng.below(2) == 0;
+  // And the flat PacketArena broadcast backend: half the trials run on the
+  // legacy vector<InfoPacket> path so every oracle sees both wire layouts.
+  c.flat_packets = rng.below(2) == 0;
   return c;
 }
 
@@ -96,6 +99,14 @@ FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox) {
         if (!soa.ok) {
           violation =
               Violation{"differential-soa", out.result.rounds, soa.detail};
+          from_differential = true;
+        }
+      }
+      if (!violation) {
+        const DiffReport packets = diff_flat_packets(config, toolbox);
+        if (!packets.ok) {
+          violation = Violation{"differential-packets", out.result.rounds,
+                                packets.detail};
           from_differential = true;
         }
       }

@@ -51,6 +51,11 @@ struct TrialConfig {
   /// fuzzable axis like structure_cache -- the differential suite proves
   /// both values bitwise identical on every drawn trial.
   bool soa = true;
+  /// EngineOptions::flat_packets: the flat PacketArena broadcast backend,
+  /// on by default. A fuzzable axis like structure_cache and soa -- the
+  /// differential-packets oracle proves both values bitwise identical on
+  /// every drawn trial.
+  bool flat_packets = true;
   std::vector<Graph> script;        ///< Non-empty: scripted replay.
 
   Round effective_max_rounds() const {

@@ -81,25 +81,25 @@ namespace {
 /// component BFS touches every directed edge of the occupied subgraph, and
 /// at k >= 10^5 those lower_bound probes dominated Algorithm 1.
 struct SenderIndex {
-  std::vector<std::pair<RobotId, const InfoPacket*>> entries;
+  std::vector<std::pair<RobotId, PacketView>> entries;
   std::vector<std::uint32_t> rank_of;  ///< name -> rank; kMissing otherwise.
 
   static constexpr std::uint32_t kMissing = 0xffffffffu;
 
   std::size_t size() const { return entries.size(); }
-  const std::pair<RobotId, const InfoPacket*>& operator[](
-      std::size_t rank) const {
+  const std::pair<RobotId, PacketView>& operator[](std::size_t rank) const {
     return entries[rank];
   }
 };
 
-SenderIndex index_by_sender(const std::vector<InfoPacket>& packets) {
+SenderIndex index_by_sender(const PacketSet& packets) {
   SenderIndex index;
   index.entries.reserve(packets.size());
   RobotId max_sender = 0;
-  for (const InfoPacket& pkt : packets) {
-    index.entries.emplace_back(pkt.sender, &pkt);
-    max_sender = std::max(max_sender, pkt.sender);
+  for (std::size_t i = 0, size = packets.size(); i < size; ++i) {
+    const PacketView pkt = packets[i];
+    index.entries.emplace_back(pkt.sender(), pkt);
+    max_sender = std::max(max_sender, pkt.sender());
   }
   // Canonical packet sets arrive sender-ascending; hand-built ones may not.
   if (!std::is_sorted(index.entries.begin(), index.entries.end(),
@@ -171,8 +171,10 @@ ComponentGraph build_component_indexed(const SenderIndex& by_sender,
   while (!scratch.frontier.empty()) {
     const std::size_t rank = scratch.frontier.back();
     scratch.frontier.pop_back();
-    for (const NeighborInfo& nb : by_sender[rank].second->occupied_neighbors) {
-      const std::size_t r = sender_rank(by_sender, nb.min_robot);
+    const PacketView pkt = by_sender[rank].second;
+    for (std::size_t i = 0, end = pkt.neighbor_count(); i < end; ++i) {
+      const std::size_t r =
+          sender_rank(by_sender, pkt.neighbor(i).min_robot());
       if (r == kNoRank || scratch.visited[r]) continue;
       scratch.visited[r] = 1;
       scratch.frontier.push_back(r);
@@ -192,18 +194,19 @@ ComponentGraph build_component_indexed(const SenderIndex& by_sender,
   ComponentGraph cg;
   std::vector<std::uint32_t> targets;
   for (const std::size_t rank : scratch.members) {
-    const InfoPacket& pkt = *by_sender[rank].second;
+    const PacketView pkt = by_sender[rank].second;
     ComponentNode node;
-    node.name = pkt.sender;
-    node.count = pkt.count;
-    node.degree = pkt.degree;
-    node.robots = pkt.robots;
-    node.edges.reserve(pkt.occupied_neighbors.size());
+    node.name = pkt.sender();
+    node.count = pkt.count();
+    node.degree = pkt.degree();
+    node.robots.assign(pkt.robots(), pkt.robots() + pkt.robot_count());
+    node.edges.reserve(pkt.neighbor_count());
     const std::size_t first_target = targets.size();
-    for (const NeighborInfo& nb : pkt.occupied_neighbors) {
-      const std::size_t r = sender_rank(by_sender, nb.min_robot);
+    for (std::size_t i = 0, end = pkt.neighbor_count(); i < end; ++i) {
+      const NeighborView nb = pkt.neighbor(i);
+      const std::size_t r = sender_rank(by_sender, nb.min_robot());
       if (r == kNoRank) continue;  // phantom neighbor: edge dropped
-      node.edges.emplace_back(nb.port, nb.min_robot);
+      node.edges.emplace_back(nb.port(), nb.min_robot());
       targets.push_back(scratch.local_of[r]);
     }
     // Packets list neighbors port-ascending already; keep the invariant in
@@ -232,22 +235,22 @@ ComponentGraph build_component_indexed(const SenderIndex& by_sender,
 
 }  // namespace
 
-ComponentGraph build_component(const std::vector<InfoPacket>& packets,
-                               RobotId start_name) {
+ComponentGraph build_component(const PacketSet& packets, RobotId start_name) {
   ComponentScratch scratch;
   return build_component_indexed(index_by_sender(packets), start_name, scratch);
 }
 
 std::vector<ComponentGraph> build_components_split(
-    const std::vector<InfoPacket>& packets, std::vector<RobotId>* trivial) {
+    const PacketSet& packets, std::vector<RobotId>* trivial) {
   const SenderIndex by_sender = index_by_sender(packets);
   std::vector<ComponentGraph> components;
   // The scratch's visited flags persist across seeds: a sender absorbed by
   // an earlier component is never re-seeded (the `seen` set of the seed).
   ComponentScratch scratch;
   scratch.visited.assign(by_sender.size(), 0);
-  for (const InfoPacket& pkt : packets) {
-    const std::size_t rank = sender_rank(by_sender, pkt.sender);
+  for (std::size_t i = 0, size = packets.size(); i < size; ++i) {
+    const PacketView pkt = packets[i];
+    const std::size_t rank = sender_rank(by_sender, pkt.sender());
     assert(rank != kNoRank);
     if (scratch.visited[rank]) continue;
     // A lone robot whose packet lists no occupied neighbor seeds a
@@ -255,19 +258,18 @@ std::vector<ComponentGraph> build_components_split(
     // form, record just the name. Marking it visited here preserves the
     // exact absorption behavior of the full build: later components keep
     // their edge toward it but never enqueue it.
-    if (trivial != nullptr && pkt.count == 1 && pkt.occupied_neighbors.empty()) {
+    if (trivial != nullptr && pkt.count() == 1 && pkt.neighbor_count() == 0) {
       scratch.visited[rank] = 1;
-      trivial->push_back(pkt.sender);
+      trivial->push_back(pkt.sender());
       continue;
     }
     components.push_back(
-        build_component_indexed(by_sender, pkt.sender, scratch));
+        build_component_indexed(by_sender, pkt.sender(), scratch));
   }
   return components;
 }
 
-std::vector<ComponentGraph> build_all_components(
-    const std::vector<InfoPacket>& packets) {
+std::vector<ComponentGraph> build_all_components(const PacketSet& packets) {
   return build_components_split(packets, nullptr);
 }
 

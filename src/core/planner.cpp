@@ -81,8 +81,7 @@ SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
   return plan;
 }
 
-SlidePlan plan_round(const std::vector<InfoPacket>& packets,
-                     const PlannerConfig& config) {
+SlidePlan plan_round(const PacketSet& packets, const PlannerConfig& config) {
   SlidePlan plan;
   // Trivial (single-robot, edge-free) senders never carry multiplicity, so
   // the split form skips materializing their one-node graphs outright.
@@ -101,33 +100,35 @@ SlidePlan plan_round(const std::vector<InfoPacket>& packets,
   return plan;
 }
 
-const SlidePlan& PlanCache::get_locked(
-    const std::vector<InfoPacket>& packets,
-    const std::shared_ptr<const std::vector<InfoPacket>>& handle,
-    const ReuseHints* hints, const PlannerConfig& config) {
-  // The stored key's content lives behind the pinned handle when one was
-  // adopted; the detached copy key_ only backs handle-less get() calls, so
-  // handle-keyed misses never deep-copy the round's packet vector.
-  const std::vector<InfoPacket>& stored = key_handle_ ? *key_handle_ : key_;
-  if (valid_ && config_ == config &&
-      ((handle && key_handle_ == handle) || stored == packets)) {
-    if (handle) {
-      key_handle_ = handle;  // adopt for future pointer hits
-      key_.clear();
+const SlidePlan& PlanCache::get_locked(const PacketSet& packets,
+                                       const ReuseHints* hints,
+                                       const PlannerConfig& config) {
+  // PacketSet equality starts with the storage-identity fast path, so a
+  // pinned owning key makes repeat queries O(1); the deep comparison backs
+  // fresh-storage queries with identical content (trap-adversary probes).
+  if (valid_ && config_ == config && key_ == packets) {
+    if (packets.owned() && !key_.owned()) {
+      key_ = packets;  // adopt for future pointer hits
+      key_copy_.clear();
     }
     ++hits_;
     return *value_;
   }
   ++misses_;
-  key_handle_ = handle;
-  if (handle) {
-    key_.clear();
-  } else {
+  if (packets.owned()) {
     key_ = packets;
+    key_copy_.clear();
+  } else if (const std::vector<InfoPacket>* vec = packets.legacy_vec()) {
+    // Borrowed key: detach a deep copy (the caller's vector may die).
+    key_copy_ = *vec;
+    key_ = PacketSet::borrow(key_copy_);
+  } else {
+    key_copy_.clear();
+    key_.reset();
   }
   config_ = config;
-  if (structure_ && hints != nullptr && hints->valid && handle) {
-    value_ = structure_->plan(handle, *hints, config);
+  if (structure_ && hints != nullptr && hints->valid && packets.owned()) {
+    value_ = structure_->plan(packets, *hints, config);
   } else {
     value_ = std::make_shared<const SlidePlan>(plan_round(packets, config));
   }
@@ -138,21 +139,20 @@ const SlidePlan& PlanCache::get_locked(
 const SlidePlan& PlanCache::get(const std::vector<InfoPacket>& packets,
                                 const PlannerConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
-  return get_locked(packets, nullptr, nullptr, config);
+  return get_locked(PacketSet::borrow(packets), nullptr, config);
 }
 
-const SlidePlan& PlanCache::get(
-    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-    const PlannerConfig& config) {
+const SlidePlan& PlanCache::get(const PacketSet& packets,
+                                const PlannerConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
-  return get_locked(*packets, packets, nullptr, config);
+  return get_locked(packets, nullptr, config);
 }
 
-const SlidePlan& PlanCache::get(
-    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-    const ReuseHints& hints, const PlannerConfig& config) {
+const SlidePlan& PlanCache::get(const PacketSet& packets,
+                                const ReuseHints& hints,
+                                const PlannerConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
-  return get_locked(*packets, packets, &hints, config);
+  return get_locked(packets, &hints, config);
 }
 
 void PlanCache::set_structure_cache(std::shared_ptr<StructureCache> cache) {

@@ -26,6 +26,7 @@
 #include "core/disjoint_paths.h"
 #include "core/spanning_tree.h"
 #include "sim/info_packet.h"
+#include "sim/packet_arena.h"
 #include "sim/reuse_hints.h"
 #include "util/types.h"
 
@@ -180,9 +181,14 @@ SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
 
 /// Plans the whole round: builds all components from the packets and merges
 /// the per-component plans (components without multiplicity contribute
-/// nothing).
-SlidePlan plan_round(const std::vector<InfoPacket>& packets,
-                     const PlannerConfig& config = {});
+/// nothing). Either packet backend yields the identical plan.
+SlidePlan plan_round(const PacketSet& packets, const PlannerConfig& config = {});
+
+/// Legacy-vector overload (tests, one-shot callers); identical output.
+inline SlidePlan plan_round(const std::vector<InfoPacket>& packets,
+                            const PlannerConfig& config = {}) {
+  return plan_round(PacketSet::borrow(packets), config);
+}
 
 /// Single-slot memo of plan_round keyed by the exact packet set. All robots
 /// of a run may share one cache; correctness is unchanged because
@@ -194,28 +200,29 @@ SlidePlan plan_round(const std::vector<InfoPacket>& packets,
 /// round, where every robot receives the same broadcast.
 class PlanCache {
  public:
+  /// Legacy-vector entry point (tests, one-shot callers). The key is
+  /// deep-copied on a miss, so temporaries are safe.
   const SlidePlan& get(const std::vector<InfoPacket>& packets,
                        const PlannerConfig& config = {});
 
-  /// Handle-keyed fast path: the engine shares one immutable broadcast per
-  /// round, so pointer identity short-circuits the deep packet comparison
-  /// (the cache pins the handle, so the address cannot be reused while it
+  /// Set-keyed fast path: the engine shares one immutable broadcast per
+  /// round, so storage identity short-circuits the deep packet comparison
+  /// (the cache pins owning sets, so the address cannot be reused while it
   /// is the key). Falls back to content comparison -- trap-adversary probes
-  /// produce byte-identical packet sets under fresh handles and must still
-  /// hit.
-  const SlidePlan& get(
-      const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-      const PlannerConfig& config = {});
+  /// produce byte-identical packet sets under fresh storage and must still
+  /// hit. Either backend works, and a hit never depends on which backend
+  /// carries the key or the query.
+  const SlidePlan& get(const PacketSet& packets,
+                       const PlannerConfig& config = {});
 
   /// Hint-carrying fast path: on a slot miss with VALID hints and an
   /// attached StructureCache, the plan is obtained from the cross-round
   /// cache (exact hit or delta rebuild) instead of plan_round. With invalid
   /// hints or no StructureCache this overload is byte-for-byte the plain
-  /// handle overload -- which is how --no-structure-cache reproduces the
+  /// set overload -- which is how --no-structure-cache reproduces the
   /// baseline exactly.
-  const SlidePlan& get(
-      const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-      const ReuseHints& hints, const PlannerConfig& config = {});
+  const SlidePlan& get(const PacketSet& packets, const ReuseHints& hints,
+                       const PlannerConfig& config = {});
 
   /// Attaches the cross-round structure cache consulted by the hint-carrying
   /// get() overload. Null detaches (hints are then ignored).
@@ -228,15 +235,18 @@ class PlanCache {
   std::size_t misses() const;
 
  private:
-  const SlidePlan& get_locked(
-      const std::vector<InfoPacket>& packets,
-      const std::shared_ptr<const std::vector<InfoPacket>>& handle,
-      const ReuseHints* hints, const PlannerConfig& config);
+  const SlidePlan& get_locked(const PacketSet& packets,
+                              const ReuseHints* hints,
+                              const PlannerConfig& config);
 
   mutable std::mutex mu_;
   std::shared_ptr<StructureCache> structure_;
-  std::shared_ptr<const std::vector<InfoPacket>> key_handle_;
-  std::vector<InfoPacket> key_;
+  /// The stored key: an owning set when the caller handed one in (pointer
+  /// hits stay O(1)), else a borrow of key_copy_ below.
+  PacketSet key_;
+  /// Detached deep copy backing handle-less (borrowed) keys only, so
+  /// owned-key misses never deep-copy the round's packets.
+  std::vector<InfoPacket> key_copy_;
   PlannerConfig config_;
   /// Immutable so StructureCache-produced plans are shared, not copied; the
   /// slot repoints on every miss while old plans stay alive for borrowers.

@@ -34,8 +34,8 @@ StructureCache::StructureCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 StructureCache::CachedComponent StructureCache::build_one(
-    const std::vector<InfoPacket>& packets, RobotId seed,
-    const PlannerConfig& config, std::vector<bool>& assigned) {
+    const PacketSet& packets, RobotId seed, const PlannerConfig& config,
+    std::vector<bool>& assigned) {
   CachedComponent cc;
   cc.graph = std::make_shared<const ComponentGraph>(
       build_component(packets, seed));
@@ -53,42 +53,49 @@ StructureCache::CachedComponent StructureCache::build_one(
   return cc;
 }
 
-bool StructureCache::try_delta(const Entry& prev,
-                               const std::vector<InfoPacket>& packets,
+bool StructureCache::try_delta(const Entry& prev, const PacketSet& packets,
                                const PlannerConfig& config, Entry& out) {
-  const std::vector<InfoPacket>& old_pk = *prev.packets;
+  const PacketSet& old_pk = prev.packets;
+  const std::size_t new_size = packets.size();
+  const std::size_t old_size = old_pk.size();
 
   RobotId max_id = 0;
-  for (const InfoPacket& p : packets) max_id = std::max(max_id, p.sender);
-  for (const InfoPacket& p : old_pk) max_id = std::max(max_id, p.sender);
+  for (std::size_t p = 0; p < new_size; ++p)
+    max_id = std::max(max_id, packets[p].sender());
+  for (std::size_t p = 0; p < old_size; ++p)
+    max_id = std::max(max_id, old_pk[p].sender());
 
   // Per-sender status: absent from the new set (default), unchanged packet,
-  // or new/changed packet. Both packet vectors are sender-ascending, so a
-  // two-pointer walk classifies every sender in one pass.
+  // or new/changed packet. Both packet sets are sender-ascending, so a
+  // two-pointer walk classifies every sender in one pass. PacketView's deep
+  // equality makes the diff backend-agnostic: an entry stored from the
+  // legacy vector diffs cleanly against a flat-arena query and vice versa.
   enum : std::uint8_t { kAbsent = 0, kClean = 1, kDirty = 2 };
   std::vector<std::uint8_t> status(static_cast<std::size_t>(max_id) + 1,
                                    kAbsent);
-  std::vector<std::pair<RobotId, const InfoPacket*>> dirty;
+  std::vector<std::pair<RobotId, PacketView>> dirty;
   // Past half the senders dirty, the diff bookkeeping outweighs the reuse --
   // and the walk aborts the moment that is certain, so churn-heavy rounds
   // (every round under the random adversaries) pay for a prefix of the
   // packet comparisons, not all of them.
-  const std::size_t max_dirty = packets.size() / 2;
+  const std::size_t max_dirty = new_size / 2;
   std::size_t i = 0, j = 0;
-  while (i < packets.size() || j < old_pk.size()) {
-    if (j >= old_pk.size() ||
-        (i < packets.size() && packets[i].sender < old_pk[j].sender)) {
-      status[packets[i].sender] = kDirty;
-      dirty.emplace_back(packets[i].sender, &packets[i]);
+  while (i < new_size || j < old_size) {
+    if (j >= old_size ||
+        (i < new_size && packets[i].sender() < old_pk[j].sender())) {
+      const PacketView pkt = packets[i];
+      status[pkt.sender()] = kDirty;
+      dirty.emplace_back(pkt.sender(), pkt);
       ++i;
-    } else if (i >= packets.size() || old_pk[j].sender < packets[i].sender) {
+    } else if (i >= new_size || old_pk[j].sender() < packets[i].sender()) {
       ++j;  // sender vanished; stays kAbsent
     } else {
-      if (packets[i] == old_pk[j]) {
-        status[packets[i].sender] = kClean;
+      const PacketView pkt = packets[i];
+      if (pkt == old_pk[j]) {
+        status[pkt.sender()] = kClean;
       } else {
-        status[packets[i].sender] = kDirty;
-        dirty.emplace_back(packets[i].sender, &packets[i]);
+        status[pkt.sender()] = kDirty;
+        dirty.emplace_back(pkt.sender(), pkt);
       }
       ++i;
       ++j;
@@ -104,15 +111,15 @@ bool StructureCache::try_delta(const Entry& prev,
   // Single-robot senders whose packets list no occupied neighbor always form
   // a one-node, edge-free, plan-free component (see build_components_split);
   // record the name instead of running Algorithm 1 on them.
-  const auto is_trivial = [](const InfoPacket& p) {
-    return p.count == 1 && p.occupied_neighbors.empty();
+  const auto is_trivial = [](const PacketView& p) {
+    return p.count() == 1 && p.neighbor_count() == 0;
   };
 
   // 1. Rebuild from the dirty seeds (ascending). A seed already absorbed by
   // an earlier dirty component is skipped.
   for (const auto& [seed, pkt] : dirty) {
     if (assigned[seed]) continue;
-    if (is_trivial(*pkt)) {
+    if (is_trivial(pkt)) {
       assigned[seed] = true;
       out.trivial.push_back(seed);
       ++rebuilt;
@@ -147,15 +154,17 @@ bool StructureCache::try_delta(const Entry& prev,
   // 3. Defensive sweep: every sender must belong to exactly one component.
   // Under the endpoints-both-dirty argument nothing is left over, but
   // correctness must not hinge on that argument: build whatever remains.
-  for (const InfoPacket& p : packets) {
-    if (assigned[p.sender]) continue;
-    if (is_trivial(p)) {
-      assigned[p.sender] = true;
-      out.trivial.push_back(p.sender);
+  for (std::size_t p = 0; p < new_size; ++p) {
+    const PacketView pkt = packets[p];
+    if (assigned[pkt.sender()]) continue;
+    if (is_trivial(pkt)) {
+      assigned[pkt.sender()] = true;
+      out.trivial.push_back(pkt.sender());
       ++rebuilt;
       continue;
     }
-    out.components.push_back(build_one(packets, p.sender, config, assigned));
+    out.components.push_back(
+        build_one(packets, pkt.sender(), config, assigned));
     ++rebuilt;
   }
 
@@ -183,7 +192,7 @@ bool StructureCache::try_delta(const Entry& prev,
   return true;
 }
 
-void StructureCache::full_build(const std::vector<InfoPacket>& packets,
+void StructureCache::full_build(const PacketSet& packets,
                                 const PlannerConfig& config, Entry& out) {
   out.components.clear();
   out.trivial.clear();
@@ -206,9 +215,9 @@ void StructureCache::full_build(const std::vector<InfoPacket>& packets,
 }
 
 std::shared_ptr<const SlidePlan> StructureCache::plan(
-    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-    const ReuseHints& hints, const PlannerConfig& config) {
-  assert(packets != nullptr);
+    const PacketSet& packets, const ReuseHints& hints,
+    const PlannerConfig& config) {
+  assert(packets.owned() && "the cache retains the set across rounds");
   assert(hints.valid && "callers with invalid hints must use plan_round");
   std::lock_guard<std::mutex> lock(mu_);
 
@@ -219,7 +228,7 @@ std::shared_ptr<const SlidePlan> StructureCache::plan(
       continue;
     }
     // Digests matched; contents decide (collision-immune exact hit).
-    if (!(*e.packets == *packets)) continue;
+    if (!(e.packets == packets)) continue;
     if (idx != 0) {
       std::rotate(entries_.begin(), entries_.begin() + idx,
                   entries_.begin() + idx + 1);
@@ -245,11 +254,11 @@ std::shared_ptr<const SlidePlan> StructureCache::plan(
       break;
     }
   }
-  if (candidate != nullptr && try_delta(*candidate, *packets, config, fresh)) {
+  if (candidate != nullptr && try_delta(*candidate, packets, config, fresh)) {
     ++stats_.delta_rounds;
     bump(g_delta_rounds);
   } else {
-    full_build(*packets, config, fresh);
+    full_build(packets, config, fresh);
     ++stats_.full_builds;
     bump(g_full_builds);
   }

@@ -69,13 +69,16 @@ class StructureCache {
   /// larger values only help adversaries that cycle through more graphs.
   explicit StructureCache(std::size_t capacity = 4);
 
-  /// The round plan for `packets`, equal to core::plan_round(*packets,
+  /// The round plan for `packets`, equal to core::plan_round(packets,
   /// config) by construction (the differential suite proves it bitwise).
-  /// `hints` must be valid and must describe the triple `packets` was
-  /// assembled from; callers with invalid hints use plan_round directly.
-  std::shared_ptr<const SlidePlan> plan(
-      const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-      const ReuseHints& hints, const PlannerConfig& config);
+  /// `packets` must be owning (the cache retains it across rounds); either
+  /// backend works, and an entry stored from one backend serves exact hits
+  /// and delta rebuilds against queries from the other. `hints` must be
+  /// valid and must describe the triple `packets` was assembled from;
+  /// callers with invalid hints use plan_round directly.
+  std::shared_ptr<const SlidePlan> plan(const PacketSet& packets,
+                                        const ReuseHints& hints,
+                                        const PlannerConfig& config);
 
   /// This instance's counters (snapshot under the lock).
   StructureCacheStats stats() const;
@@ -100,7 +103,7 @@ class StructureCache {
     std::uint64_t conf_digest = 0;
     bool neighborhood = false;
     PlannerConfig config;
-    std::shared_ptr<const std::vector<InfoPacket>> packets;
+    PacketSet packets;  ///< Owning; pins the round's broadcast storage.
     std::vector<CachedComponent> components;  ///< Ascending by min node name.
     /// Single-robot, edge-free components stored by name only (ascending);
     /// see build_components_split. They plan nothing, so reuse just checks
@@ -111,19 +114,19 @@ class StructureCache {
 
   /// Builds one component (plus tree and movers when it has multiplicity)
   /// from `packets` starting at `seed`, marking every member in `assigned`.
-  static CachedComponent build_one(const std::vector<InfoPacket>& packets,
-                                   RobotId seed, const PlannerConfig& config,
+  static CachedComponent build_one(const PacketSet& packets, RobotId seed,
+                                   const PlannerConfig& config,
                                    std::vector<bool>& assigned);
 
   /// Attempts the sender-wise diff against `prev`; fills `out.components`
   /// and `out.merged` and returns true, or returns false when the dirty
   /// fraction makes a full build cheaper.
-  bool try_delta(const Entry& prev, const std::vector<InfoPacket>& packets,
+  bool try_delta(const Entry& prev, const PacketSet& packets,
                  const PlannerConfig& config, Entry& out);
 
   /// plan_round's computation with the structures captured into `out`.
-  static void full_build(const std::vector<InfoPacket>& packets,
-                         const PlannerConfig& config, Entry& out);
+  static void full_build(const PacketSet& packets, const PlannerConfig& config,
+                         Entry& out);
 
   mutable std::mutex mu_;
   std::vector<Entry> entries_;  ///< Most-recent-first (LRU order).

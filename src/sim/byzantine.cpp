@@ -42,6 +42,26 @@ void ByzantineModel::tamper(std::vector<InfoPacket>& packets) const {
   }
 }
 
+void ByzantineModel::tamper(PacketArena& packets) const {
+  if (lie_ == ByzantineLie::kErraticMoves) return;  // movement-only attack
+  for (ArenaPacket& pkt : packets.headers) {
+    if (!liars_.count(pkt.sender)) continue;
+    switch (lie_) {
+      case ByzantineLie::kHideMultiplicity:
+        // pool[robots_begin] == sender already (lists ascend, sender is the
+        // minimum), so truncating the range IS the {sender} singleton.
+        pkt.count = 1;
+        pkt.robots_count = 1;
+        break;
+      case ByzantineLie::kHideEmptyNeighbors:
+        pkt.degree = pkt.nb_count;
+        break;
+      case ByzantineLie::kErraticMoves:
+        break;
+    }
+  }
+}
+
 Port ByzantineModel::override_move(RobotId id, Port planned,
                                    std::size_t degree, Round round) const {
   if (lie_ != ByzantineLie::kErraticMoves || !liars_.count(id) || degree == 0)

@@ -25,6 +25,7 @@
 
 #include "robots/configuration.h"
 #include "sim/info_packet.h"
+#include "sim/packet_arena.h"
 #include "util/types.h"
 
 namespace dyndisp {
@@ -49,6 +50,12 @@ class ByzantineModel {
   /// liar's node, since 1-neighborhood *sensing* of occupancy cannot be
   /// faked -- only the packet contents can (counts/IDs travel in packets).
   void tamper(std::vector<InfoPacket>& packets) const;
+
+  /// Flat-arena twin: rewrites the same packets to the same logical records
+  /// (a liar's pool slice starts with the liar itself -- robot lists ascend
+  /// and the sender is the minimum -- so hiding multiplicity is a range
+  /// shrink, never a pool rewrite).
+  void tamper(PacketArena& packets) const;
 
   /// Movement override for kErraticMoves: the liar picks a pseudo-random
   /// port (deterministic in (id, round)); other robots keep their plan.

@@ -20,6 +20,7 @@ Engine::Engine(Adversary& adversary, Configuration initial,
       conf_(std::move(initial)),
       options_(options),
       faults_(std::move(faults)) {
+  ctx_.set_flat_packets(options_.flat_packets);
   if (adversary_.node_count() != conf_.node_count()) {
     throw std::invalid_argument(
         "engine: adversary and configuration disagree on node count");
@@ -91,8 +92,7 @@ MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
                          const std::vector<Port>& arrival_ports,
                          const std::vector<bool>& active,
                          const std::vector<RobotAlgorithm*>& robots,
-                         const RoundContext& ctx,
-                         std::shared_ptr<const std::vector<InfoPacket>> packets,
+                         const RoundContext& ctx, PacketSet packets,
                          const ReuseHints& hints, ThreadPool* pool,
                          std::vector<RobotView>* view_arena,
                          const ViewNeeds& needs) {
@@ -169,7 +169,7 @@ MovePlan Engine::probe_plan(const Graph& candidate) const {
     clones.push_back(r->clone());
     raw.push_back(clones.back().get());
   }
-  std::shared_ptr<const std::vector<InfoPacket>> packets;
+  PacketSet packets;
   if (options_.comm == CommModel::kGlobal) {
     packets = round_ctx_->assemble_candidate_packets(
         candidate, conf_, options_.neighborhood_knowledge,
@@ -394,6 +394,11 @@ RunResult Engine::run() {
       }
       res.packets_sent += ctx_.packet_count();
       res.packet_bits_sent += ctx_.packet_bits();
+      if (options_.flat_packets) ++res.stats.flat_rounds;
+      if (options_.packet_observer) {
+        options_.packet_observer(r, ctx_.packet_count(), ctx_.packet_bits(),
+                                 packet_set_digest(ctx_.packets()));
+      }
     }
 
     MovePlan plan = compute_plan(graph_, r, ctx_);

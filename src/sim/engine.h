@@ -128,6 +128,17 @@ struct EngineOptions {
   /// disabling this reproduces the per-round-allocating layout, which is
   /// what --no-soa exposes for differential proofs.
   bool soa = true;
+  /// Flat packet broadcast (docs/PERFORMANCE.md): the per-round packet set
+  /// is assembled into a persistent CSR PacketArena (one header table, one
+  /// neighbor table, one RobotId pool) pooled and refilled in place across
+  /// rounds, instead of a fresh std::vector<InfoPacket> whose per-packet
+  /// robot lists dominated the allocation count at k >= 10^5. Every
+  /// consumer reads packets through PacketView, so the logical records,
+  /// canonical order, wire-bit metering, and run digests are bitwise
+  /// identical either way (the packet differential suite proves it);
+  /// disabling reproduces the per-round-allocating layout, which is what
+  /// --no-flat-packets exposes for differential proofs.
+  bool flat_packets = true;
   /// Record a full per-round trace (heavy).
   bool record_trace = false;
   /// Record per-round occupied counts (cheap) for progress plots.
@@ -142,6 +153,15 @@ struct EngineOptions {
   /// this). Called after every executed round's Move phase; throws
   /// InvariantViolation to stop the run at the offending round. Null = off.
   InvariantChecker invariant_checker;
+  /// Wire-format observer: called once per executed global-communication
+  /// round, right after the round's broadcast is published (post-tamper --
+  /// it sees exactly what the robots receive), with the round number, the
+  /// packet count, the metered wire bits, and the order-sensitive
+  /// packet_set_digest of the full broadcast. The golden packet-trace
+  /// fixtures replay runs through this hook; it observes, never mutates,
+  /// and is backend-independent by construction. Null = off.
+  std::function<void(Round, std::size_t, std::size_t, std::uint64_t)>
+      packet_observer;
   /// Compute-phase fan-out: packet assembly, view assembly, and step() calls
   /// are spread over this many threads (1 = fully serial, no pool). Results
   /// are bitwise identical at any value: robots only read the round's shared
@@ -170,6 +190,9 @@ struct RoundLoopStats {
   /// everything in this struct).
   std::size_t soa_rounds = 0;           ///< Rounds run through the arena path.
   std::size_t arena_views = 0;          ///< Views filled into arena slots.
+  /// Flat-packet (PacketArena) counter: global-communication rounds whose
+  /// broadcast was published arena-backed (EngineOptions::flat_packets).
+  std::size_t flat_rounds = 0;
   std::size_t state_list_rounds_skipped = 0;  ///< begin_round state-list builds skipped (ViewNeeds).
   std::size_t before_copies_skipped = 0;      ///< Start-of-round Configuration copies elided.
   std::size_t occupancy_words = 0;      ///< Words per occupancy bitset (ceil(n/64)).
@@ -302,8 +325,7 @@ class Engine {
                           const std::vector<Port>& arrival_ports,
                           const std::vector<bool>& active,
                           const std::vector<RobotAlgorithm*>& robots,
-                          const RoundContext& ctx,
-                          std::shared_ptr<const std::vector<InfoPacket>> packets,
+                          const RoundContext& ctx, PacketSet packets,
                           const ReuseHints& hints, ThreadPool* pool,
                           std::vector<RobotView>* view_arena,
                           const ViewNeeds& needs);

@@ -18,7 +18,7 @@ void RoundContext::begin_round(const Configuration& conf,
 
   // Retire the finished round's broadcast into the delta-assembly source.
   prev_packets_ = std::move(packets_);
-  packets_ = nullptr;
+  packets_.reset();
   prev_packet_bits_each_.swap(packet_bits_each_);
   prev_packet_nodes_.swap(packet_nodes_);
   prev_packet_bits_ = packet_bits_;
@@ -47,7 +47,7 @@ void RoundContext::begin_round(const Configuration& conf,
     for (NodeId v = 0; v < n; ++v)
       if (!index_.empty(v)) changed_nodes_.push_back(v);
     occupancy_changed_ = true;
-    prev_packets_ = nullptr;
+    prev_packets_.reset();
   } else {
     for (NodeId v = 0; v < n; ++v) {
       if (index_.count(v) != prev_index_.count(v) ||
@@ -97,19 +97,49 @@ void RoundContext::begin_round(const Configuration& conf,
   }
 }
 
+std::shared_ptr<PacketArena> RoundContext::acquire_arena() {
+  for (const std::shared_ptr<PacketArena>& a : arena_pool_) {
+    if (a.use_count() == 1) {
+      a->clear();
+      ++counters_.scratch_reuses;
+      return a;
+    }
+  }
+  // All pooled buffers are pinned elsewhere (views, cache entries); a fresh
+  // buffer joins the pool up to the cap, beyond which it lives and dies with
+  // its broadcast.
+  constexpr std::size_t kArenaPoolCap = 8;
+  auto fresh = std::make_shared<PacketArena>();
+  if (arena_pool_.size() < kArenaPoolCap) arena_pool_.push_back(fresh);
+  return fresh;
+}
+
 void RoundContext::assemble_packets(const Graph& g, const Configuration& conf,
                                     bool with_neighborhood,
                                     const ByzantineModel* byzantine,
                                     ThreadPool* pool) {
   assert(!packets_ && "the round's broadcast is assembled exactly once");
+  if (flat_) {
+    std::shared_ptr<PacketArena> arena = acquire_arena();
+    assemble_arena_metered(*arena, g, conf, with_neighborhood, index_,
+                           &packet_bits_, pool, &packet_bits_each_,
+                           &packet_nodes_);
+    if (byzantine) {
+      byzantine->tamper(*arena);
+      // Tampered packets no longer match their metered sizes; drop the
+      // per-packet arrays so no delta round ever sources from them.
+      packet_bits_each_.clear();
+      packet_nodes_.clear();
+    }
+    packets_ = PacketSet::ArenaHandle(std::move(arena));
+    return;
+  }
   auto assembled =
       make_all_packets_metered(g, conf, with_neighborhood, index_,
                                &packet_bits_, pool, &packet_bits_each_,
                                &packet_nodes_);
   if (byzantine) {
     byzantine->tamper(assembled);
-    // Tampered packets no longer match their metered sizes; drop the
-    // per-packet arrays so no delta round ever sources from them.
     packet_bits_each_.clear();
     packet_nodes_.clear();
   }
@@ -119,7 +149,7 @@ void RoundContext::assemble_packets(const Graph& g, const Configuration& conf,
 
 void RoundContext::reuse_packets() {
   assert(!packets_ && "the round's broadcast is assembled exactly once");
-  assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_->size() &&
+  assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_.size() &&
          "reuse requires an untampered previous broadcast");
   packets_ = prev_packets_;
   packet_bits_each_ = prev_packet_bits_each_;
@@ -132,7 +162,7 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
                                  const std::vector<NodeId>& dirty_nodes,
                                  ThreadPool* pool) {
   assert(!packets_ && "the round's broadcast is assembled exactly once");
-  assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_->size() &&
+  assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_.size() &&
          "delta assembly requires an untampered previous broadcast");
   const std::size_t n = conf.node_count();
   const std::size_t k = conf.robot_count();
@@ -147,11 +177,17 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
     node_to_prev_[v] = -2;
   }
 
+  if (flat_) {
+    delta_flat(g, conf, with_neighborhood, pool);
+    return;
+  }
+
   std::vector<NodeId> nodes;
   nodes.reserve(conf.occupied_count());
   for (NodeId v = 0; v < n; ++v)
     if (!index_.empty(v)) nodes.push_back(v);
 
+  const std::vector<InfoPacket>& prev_vec = *prev_packets_.legacy_vec();
   std::vector<InfoPacket> assembled(nodes.size());
   std::vector<std::size_t> bits(nodes.size());
   parallel_for(pool, nodes.size(), [&](std::size_t i) {
@@ -161,7 +197,7 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
       // Clean sender with a previous packet: the packet is a pure function
       // of the (unchanged) occupancy and adjacency around v -- copy it and
       // its metered size verbatim.
-      assembled[i] = (*prev_packets_)[static_cast<std::size_t>(pi)];
+      assembled[i] = prev_vec[static_cast<std::size_t>(pi)];
       bits[i] = prev_packet_bits_each_[static_cast<std::size_t>(pi)];
     } else {
       assembled[i] = make_packet(g, conf, v, with_neighborhood, index_);
@@ -175,6 +211,132 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
       ++counters_.packets_rebuilt;
   }
   publish_sorted(std::move(assembled), std::move(bits), std::move(nodes));
+}
+
+void RoundContext::delta_flat(const Graph& g, const Configuration& conf,
+                              bool with_neighborhood, ThreadPool* pool) {
+  assert(prev_packets_.flat() && "flat deltas source from a flat broadcast");
+  const PacketArena& prev = *prev_packets_.arena_handle();
+  const std::size_t n = conf.node_count();
+  const std::size_t k = conf.robot_count();
+
+  // A previous packet's pool slice is contiguous (sender robots, then each
+  // neighbor's robots in port order), so its length is the distance from
+  // its first robot to the end of its last neighbor's range.
+  const auto slice_len = [&prev](const ArenaPacket& h) -> std::uint32_t {
+    if (h.nb_count == 0) return h.robots_count;
+    const ArenaNeighbor& last = prev.neighbors[h.nb_begin + h.nb_count - 1];
+    return last.robots_begin + last.robots_count - h.robots_begin;
+  };
+
+  std::shared_ptr<PacketArena> arena_ptr = acquire_arena();
+  PacketArena& arena = *arena_ptr;
+
+  // Pass 1 (serial, node-ascending): size every packet -- clean senders
+  // straight off the previous header, dirty ones off the index and graph --
+  // assigning every range cumulatively, exactly like the full assembly.
+  std::uint32_t pool_cursor = 0;
+  std::uint32_t nb_cursor = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t here = index_.count(v);
+    if (here == 0) continue;
+    const std::int32_t pi = node_to_prev_[v];
+    ArenaPacket h;
+    h.robots_begin = pool_cursor;
+    h.nb_begin = nb_cursor;
+    if (pi >= 0) {
+      const ArenaPacket& ph = prev.headers[static_cast<std::size_t>(pi)];
+      h.sender = ph.sender;
+      h.count = ph.count;
+      h.degree = ph.degree;
+      h.robots_count = ph.robots_count;
+      h.nb_count = ph.nb_count;
+      pool_cursor += slice_len(ph);
+    } else {
+      h.sender = *index_.begin(v);
+      h.count = static_cast<std::uint32_t>(here);
+      h.degree = static_cast<std::uint32_t>(g.degree(v));
+      h.robots_count = h.count;
+      pool_cursor += h.robots_count;
+      h.nb_count = 0;
+      if (with_neighborhood) {
+        for (Port p = 1; p <= g.degree(v); ++p) {
+          const std::size_t there = index_.count(g.neighbor(v, p));
+          if (there == 0) continue;
+          ++h.nb_count;
+          pool_cursor += static_cast<std::uint32_t>(there);
+        }
+      }
+    }
+    nb_cursor += h.nb_count;
+    arena.headers.push_back(h);
+  }
+  arena.neighbors.resize(nb_cursor);
+  arena.pool.resize(pool_cursor);
+
+  // Canonical sender order before the fill, as in the full assembly:
+  // explicit ranges mean sorting headers moves no payload.
+  std::sort(arena.headers.begin(), arena.headers.end(),
+            [](const ArenaPacket& a, const ArenaPacket& b) {
+              return a.sender < b.sender;
+            });
+
+  // Pass 2 (parallel): clean packets copy their pool slice in one shot and
+  // their neighbor entries with rebased ranges (every range in one slice
+  // shifts by the same offset); dirty packets fill and meter from scratch.
+  packet_bits_each_.resize(arena.headers.size());
+  packet_nodes_.resize(arena.headers.size());
+  parallel_for(pool, arena.headers.size(), [&](std::size_t i) {
+    const ArenaPacket& h = arena.headers[i];
+    const NodeId v = conf.position(h.sender);
+    packet_nodes_[i] = v;
+    const std::int32_t pi = node_to_prev_[v];
+    if (pi >= 0) {
+      const ArenaPacket& ph = prev.headers[static_cast<std::size_t>(pi)];
+      const std::uint32_t len = slice_len(ph);
+      std::copy(prev.pool.begin() + ph.robots_begin,
+                prev.pool.begin() + ph.robots_begin + len,
+                arena.pool.begin() + h.robots_begin);
+      const std::uint32_t shift = h.robots_begin - ph.robots_begin;
+      for (std::uint32_t e = 0; e < ph.nb_count; ++e) {
+        ArenaNeighbor nb = prev.neighbors[ph.nb_begin + e];
+        nb.robots_begin += shift;  // uint32 wraparound-safe: exact inverse
+        arena.neighbors[h.nb_begin + e] = nb;
+      }
+      packet_bits_each_[i] = prev_packet_bits_each_[static_cast<std::size_t>(pi)];
+    } else {
+      std::copy(index_.begin(v), index_.end(v),
+                arena.pool.begin() + h.robots_begin);
+      std::uint32_t cursor = h.robots_begin + h.robots_count;
+      std::uint32_t filled = 0;
+      if (h.nb_count > 0) {
+        for (Port p = 1; p <= g.degree(v); ++p) {
+          const NodeId w = g.neighbor(v, p);
+          if (index_.empty(w)) continue;
+          ArenaNeighbor& nb = arena.neighbors[h.nb_begin + filled++];
+          nb.port = p;
+          nb.min_robot = *index_.begin(w);
+          nb.count = static_cast<std::uint32_t>(index_.count(w));
+          nb.robots_begin = cursor;
+          nb.robots_count = nb.count;
+          std::copy(index_.begin(w), index_.end(w),
+                    arena.pool.begin() + cursor);
+          cursor += nb.count;
+        }
+      }
+      packet_bits_each_[i] = packet_bit_size(PacketView(arena, i), k, n);
+    }
+  });
+
+  packet_bits_ = 0;
+  for (std::size_t i = 0; i < arena.headers.size(); ++i) {
+    packet_bits_ += packet_bits_each_[i];
+    if (node_to_prev_[packet_nodes_[i]] >= 0)
+      ++counters_.packets_copied;
+    else
+      ++counters_.packets_rebuilt;
+  }
+  packets_ = PacketSet::ArenaHandle(std::move(arena_ptr));
 }
 
 void RoundContext::publish_sorted(std::vector<InfoPacket> assembled,
@@ -201,16 +363,14 @@ void RoundContext::publish_sorted(std::vector<InfoPacket> assembled,
   packets_ = std::make_shared<const std::vector<InfoPacket>>(std::move(sorted));
 }
 
-std::shared_ptr<const std::vector<InfoPacket>>
-RoundContext::assemble_candidate_packets(const Graph& g,
-                                         const Configuration& conf,
-                                         bool with_neighborhood,
-                                         const ByzantineModel* byzantine,
-                                         ThreadPool* pool) const {
+PacketSet RoundContext::assemble_candidate_packets(
+    const Graph& g, const Configuration& conf, bool with_neighborhood,
+    const ByzantineModel* byzantine, ThreadPool* pool) const {
   auto assembled = make_all_packets_metered(g, conf, with_neighborhood,
                                             index_, nullptr, pool);
   if (byzantine) byzantine->tamper(assembled);
-  return std::make_shared<const std::vector<InfoPacket>>(std::move(assembled));
+  return PacketSet::LegacyHandle(
+      std::make_shared<const std::vector<InfoPacket>>(std::move(assembled)));
 }
 
 }  // namespace dyndisp

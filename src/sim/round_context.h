@@ -44,6 +44,16 @@ class RoundContext {
   /// An empty context; call begin_round before use.
   RoundContext() = default;
 
+  /// Selects the broadcast storage backend (EngineOptions::flat_packets):
+  /// true routes every broadcast path into a persistent PacketArena pooled
+  /// and refilled across rounds; false keeps the legacy one-vector-per-
+  /// round InfoPacket layout. The logical packet records, canonical order,
+  /// and wire-bit accounting are identical either way. Call before the
+  /// first broadcast path of a run; switching mid-run voids no invariant
+  /// (the next broadcast simply lands in the other backend) but is never
+  /// done by the engine.
+  void set_flat_packets(bool flat) { flat_ = flat; }
+
   /// One-shot construction (tests / single-round uses): equivalent to
   /// default-constructing and calling begin_round once.
   RoundContext(const Configuration& conf,
@@ -115,23 +125,26 @@ class RoundContext {
 
   /// True when the previous round produced a broadcast the delta paths can
   /// source from.
-  bool has_prev_packets() const { return prev_packets_ != nullptr; }
+  bool has_prev_packets() const { return static_cast<bool>(prev_packets_); }
 
   /// Builds a broadcast for a candidate graph a trap adversary probes,
   /// without touching the context's own broadcast. Tampering applies (the
-  /// adversary predicts what the robots will actually receive).
-  std::shared_ptr<const std::vector<InfoPacket>> assemble_candidate_packets(
-      const Graph& g, const Configuration& conf, bool with_neighborhood,
-      const ByzantineModel* byzantine, ThreadPool* pool) const;
+  /// adversary predicts what the robots will actually receive). Candidate
+  /// sets are always legacy-backed: probes are rare, their content is
+  /// identical either way, and keeping them off the arena pool means a
+  /// probe can never contend with the round's own refill.
+  PacketSet assemble_candidate_packets(const Graph& g,
+                                       const Configuration& conf,
+                                       bool with_neighborhood,
+                                       const ByzantineModel* byzantine,
+                                       ThreadPool* pool) const;
 
-  /// The round's broadcast; null until a broadcast path ran (or under local
-  /// communication, where no packets propagate).
-  const std::shared_ptr<const std::vector<InfoPacket>>& packets() const {
-    return packets_;
-  }
+  /// The round's broadcast; falsy until a broadcast path ran (or under
+  /// local communication, where no packets propagate).
+  const PacketSet& packets() const { return packets_; }
 
   /// Packets in the round's broadcast (== occupied nodes).
-  std::size_t packet_count() const { return packets_ ? packets_->size() : 0; }
+  std::size_t packet_count() const { return packets_.size(); }
 
   /// Total wire bits of the round's broadcast, metered during assembly (or
   /// carried over exactly on the reuse/delta paths).
@@ -153,17 +166,37 @@ class RoundContext {
                       std::vector<std::size_t> bits,
                       std::vector<NodeId> nodes);
 
+  /// An arena free for refilling: a pooled buffer nothing else references
+  /// (use_count() == 1 -- a buffer pinned by a view, plan-cache key, or
+  /// structure-cache entry is skipped BY CONSTRUCTION, so in-place refill
+  /// can never corrupt a broadcast someone still reads), else a fresh one.
+  /// The pool is capped; overflow buffers are simply not retained.
+  std::shared_ptr<PacketArena> acquire_arena();
+
+  /// Flat twin of delta_packets' assembly body: clean packets are copied
+  /// from the previous arena (headers and neighbor entries rebased, pool
+  /// slice copied contiguously, metered bits carried over), dirty senders
+  /// rebuilt from `g`. node_to_prev_ must already be prepared.
+  void delta_flat(const Graph& g, const Configuration& conf,
+                  bool with_neighborhood, ThreadPool* pool);
+
   NodeIndex index_;
   NodeIndex prev_index_;  ///< Double buffer: last round's index.
   bool first_round_ = true;
+  bool flat_ = false;
 
   std::vector<std::shared_ptr<const std::vector<StateHandle>>> node_states_;
   std::vector<NodeId> changed_nodes_;
   bool occupancy_changed_ = true;
   std::uint64_t conf_digest_ = 0;
 
-  std::shared_ptr<const std::vector<InfoPacket>> packets_;
-  std::shared_ptr<const std::vector<InfoPacket>> prev_packets_;
+  PacketSet packets_;
+  PacketSet prev_packets_;
+  /// Retained arena buffers cycled through acquire_arena(). Small and
+  /// bounded: current + previous broadcast plus however many rounds the
+  /// caches pin, which the default StructureCache capacity keeps under the
+  /// cap in steady state.
+  std::vector<std::shared_ptr<PacketArena>> arena_pool_;
   /// Wire bits / sender node of each packet, aligned to packets_ order (and
   /// the prev_ pair to prev_packets_). Only maintained on untampered
   /// broadcasts -- the delta paths' sources.

@@ -117,8 +117,8 @@ std::vector<InfoPacket> make_all_packets_metered_impl(
 template <class Index>
 void fill_view_impl(RobotView& out, const Graph& g, const Configuration& conf,
                     RobotId id, Round round, CommModel comm, bool neighborhood,
-                    const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-                    Index index, const ViewNeeds& needs) {
+                    const PacketSet& packets, Index index,
+                    const ViewNeeds& needs) {
   assert(conf.alive(id));
   const NodeId v = conf.position(id);
 
@@ -164,7 +164,7 @@ void fill_view_impl(RobotView& out, const Graph& g, const Configuration& conf,
     out.occupied_neighbors.resize(neighbors_filled);
 
   out.global_comm = comm == CommModel::kGlobal;
-  out.shared_packets = out.global_comm ? packets : nullptr;
+  out.shared_packets = out.global_comm ? packets : PacketSet{};
 }
 
 }  // namespace
@@ -241,27 +241,121 @@ std::vector<InfoPacket> make_all_packets_metered(
                                        bits_each, nodes_each);
 }
 
-std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,
+std::size_t packet_bit_size(const PacketView& packet, std::size_t k,
                             std::size_t n) {
   const std::size_t id_bits = bit_width_for(k + 1);
   const std::size_t port_bits = bit_width_for(n);
-  std::size_t bits = id_bits;              // sender
-  bits += id_bits;                         // count
-  bits += port_bits;                       // degree
-  bits += packet.robots.size() * id_bits;  // co-located IDs
-  for (const NeighborInfo& nb : packet.occupied_neighbors) {
-    bits += port_bits;                     // port
-    bits += id_bits;                       // min_robot
-    bits += id_bits;                       // count
-    bits += nb.robots.size() * id_bits;    // IDs on the neighbor
+  std::size_t bits = id_bits;                // sender
+  bits += id_bits;                           // count
+  bits += port_bits;                         // degree
+  bits += packet.robot_count() * id_bits;    // co-located IDs
+  for (std::size_t i = 0, end = packet.neighbor_count(); i < end; ++i) {
+    const NeighborView nb = packet.neighbor(i);
+    bits += port_bits;                       // port
+    bits += id_bits;                         // min_robot
+    bits += id_bits;                         // count
+    bits += nb.robot_count() * id_bits;      // IDs on the neighbor
   }
   return bits;
 }
 
+void assemble_arena_metered(PacketArena& arena, const Graph& g,
+                            const Configuration& conf, bool with_neighborhood,
+                            const NodeIndex& index, std::size_t* wire_bits,
+                            ThreadPool* pool,
+                            std::vector<std::size_t>* bits_each,
+                            std::vector<NodeId>* nodes_each) {
+  g_packet_assemblies.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = conf.node_count();
+  const std::size_t k = conf.robot_count();
+
+  // Pass 1 (serial): one header per occupied node with every range
+  // pre-assigned off the CSR index and the graph alone -- sender robots
+  // first, then each occupied neighbor's robots, so a packet's pool slice
+  // is contiguous. Node-ascending assignment keeps the layout
+  // deterministic at any thread count.
+  arena.headers.clear();
+  std::uint32_t pool_cursor = 0;
+  std::uint32_t nb_cursor = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t here = index.count(v);
+    if (here == 0) continue;
+    ArenaPacket h;
+    h.sender = *index.begin(v);
+    h.count = static_cast<std::uint32_t>(here);
+    h.degree = static_cast<std::uint32_t>(g.degree(v));
+    h.robots_begin = pool_cursor;
+    h.robots_count = h.count;
+    pool_cursor += h.robots_count;
+    h.nb_begin = nb_cursor;
+    h.nb_count = 0;
+    if (with_neighborhood) {
+      for (Port p = 1; p <= g.degree(v); ++p) {
+        const std::size_t there = index.count(g.neighbor(v, p));
+        if (there == 0) continue;
+        ++h.nb_count;
+        pool_cursor += static_cast<std::uint32_t>(there);
+      }
+    }
+    nb_cursor += h.nb_count;
+    arena.headers.push_back(h);
+  }
+  arena.neighbors.resize(nb_cursor);
+  arena.pool.resize(pool_cursor);
+
+  // Canonical sender-ascending order, sorted in place: ranges are explicit,
+  // so reordering headers never moves the pool, and the parallel fill below
+  // is order-independent. Senders are unique (one packet per node over
+  // disjoint robot sets), so the order is deterministic.
+  std::sort(arena.headers.begin(), arena.headers.end(),
+            [](const ArenaPacket& a, const ArenaPacket& b) {
+              return a.sender < b.sender;
+            });
+
+  // Pass 2 (parallel): fill each packet's slices and meter it. The sender's
+  // node is recovered from its smallest robot's position, so no node
+  // scratch list is needed.
+  const bool meter = wire_bits != nullptr || bits_each != nullptr;
+  if (bits_each) bits_each->resize(arena.headers.size());
+  if (nodes_each) nodes_each->resize(arena.headers.size());
+  std::vector<std::size_t> local_bits(
+      meter && bits_each == nullptr ? arena.headers.size() : 0);
+  std::vector<std::size_t>* bits = bits_each ? bits_each : &local_bits;
+  parallel_for(pool, arena.headers.size(), [&](std::size_t i) {
+    const ArenaPacket& h = arena.headers[i];
+    const NodeId v = conf.position(h.sender);
+    std::copy(index.begin(v), index.end(v),
+              arena.pool.begin() + h.robots_begin);
+    std::uint32_t cursor = h.robots_begin + h.robots_count;
+    std::uint32_t filled = 0;
+    if (h.nb_count > 0) {
+      for (Port p = 1; p <= g.degree(v); ++p) {
+        const NodeId w = g.neighbor(v, p);
+        if (index.empty(w)) continue;
+        ArenaNeighbor& nb = arena.neighbors[h.nb_begin + filled++];
+        nb.port = p;
+        nb.min_robot = *index.begin(w);
+        nb.count = static_cast<std::uint32_t>(index.count(w));
+        nb.robots_begin = cursor;
+        nb.robots_count = nb.count;
+        std::copy(index.begin(w), index.end(w),
+                  arena.pool.begin() + cursor);
+        cursor += nb.count;
+      }
+    }
+    if (meter) (*bits)[i] = packet_bit_size(PacketView(arena, i), k, n);
+    if (nodes_each) (*nodes_each)[i] = v;
+  });
+  if (wire_bits) {
+    std::size_t total = 0;
+    for (const std::size_t b : *bits) total += b;
+    *wire_bits = total;
+  }
+}
+
 RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
                     Round round, CommModel comm, bool neighborhood,
-                    std::shared_ptr<const std::vector<InfoPacket>> packets,
-                    const NodeRobots* index) {
+                    PacketSet packets, const NodeRobots* index) {
   NodeRobots local;
   if (index == nullptr) {
     local = robots_by_node(conf);
@@ -275,8 +369,7 @@ RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
 
 RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
                     Round round, CommModel comm, bool neighborhood,
-                    std::shared_ptr<const std::vector<InfoPacket>> packets,
-                    const NodeIndex& index) {
+                    PacketSet packets, const NodeIndex& index) {
   RobotView view;
   fill_view_impl(view, g, conf, id, round, comm, neighborhood, packets,
                  CsrIndex{&index}, ViewNeeds{});
@@ -285,8 +378,8 @@ RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
 
 void fill_view(RobotView& out, const Graph& g, const Configuration& conf,
                RobotId id, Round round, CommModel comm, bool neighborhood,
-               const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-               const NodeIndex& index, const ViewNeeds& needs) {
+               const PacketSet& packets, const NodeIndex& index,
+               const ViewNeeds& needs) {
   fill_view_impl(out, g, conf, id, round, comm, neighborhood, packets,
                  CsrIndex{&index}, needs);
 }

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "robots/configuration.h"
 #include "sim/info_packet.h"
+#include "sim/packet_arena.h"
 #include "sim/reuse_hints.h"
 #include "util/types.h"
 
@@ -73,10 +74,12 @@ struct RobotView {
 
   bool global_comm = false;
   /// All packets in the system, ascending by sender ID (one per occupied
-  /// node); non-null only when global_comm is true. Shared across the
+  /// node); truthy only when global_comm is true. Shared across the
   /// round's views (k robots receive the same broadcast; copying it per
-  /// robot would make every round Theta(k^2) in packet volume).
-  std::shared_ptr<const std::vector<InfoPacket>> shared_packets;
+  /// robot would make every round Theta(k^2) in packet volume). Carried by
+  /// either backend -- the flat PacketArena (EngineOptions::flat_packets)
+  /// or the legacy InfoPacket vector -- behind the same PacketView API.
+  PacketSet shared_packets;
 
   /// Cross-round reuse hints for the shared packet set (filled by the
   /// engine, like arrival_port; invalid in bare make_view results). Caching
@@ -85,10 +88,7 @@ struct RobotView {
   ReuseHints reuse;
 
   /// The packet set (empty when local communication is in effect).
-  const std::vector<InfoPacket>& packets() const {
-    static const std::vector<InfoPacket> kEmpty;
-    return shared_packets ? *shared_packets : kEmpty;
-  }
+  const PacketSet& packets() const { return shared_packets; }
 };
 
 /// Per-round index: node -> alive robot IDs there, ascending. Building it
@@ -197,24 +197,42 @@ std::size_t packet_assembly_count();
 /// Wire size of one packet in bits, for the communication-cost metric:
 /// robot IDs and counts cost ceil(log2(k+1)) bits, ports and degrees
 /// ceil(log2(n)) bits (n = node count bounds both). The robot-ID lists are
-/// counted in full, matching the paper's "full information" packets.
-std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,
+/// counted in full, matching the paper's "full information" packets. The
+/// formula reads the logical record only, so both backends meter alike.
+std::size_t packet_bit_size(const PacketView& packet, std::size_t k,
                             std::size_t n);
+
+/// Legacy-struct overload; identical result.
+inline std::size_t packet_bit_size(const InfoPacket& packet, std::size_t k,
+                                   std::size_t n) {
+  return packet_bit_size(PacketView(packet), k, n);
+}
+
+/// Flat-backend twin of make_all_packets_metered: assembles the whole
+/// broadcast into `arena` (cleared and refilled in place -- allocation-free
+/// once its arrays have grown to steady state), headers sorted by sender,
+/// each packet's pool slice contiguous. Metering, ledgers, the
+/// packet-assembly counter, and thread-count independence behave exactly as
+/// in the vector path; the logical records are identical field for field.
+void assemble_arena_metered(PacketArena& arena, const Graph& g,
+                            const Configuration& conf, bool with_neighborhood,
+                            const NodeIndex& index, std::size_t* wire_bits,
+                            ThreadPool* pool = nullptr,
+                            std::vector<std::size_t>* bits_each = nullptr,
+                            std::vector<NodeId>* nodes_each = nullptr);
 
 /// Assembles the view of robot `id` standing on its node in `g`. The packet
 /// set is attached by reference-counted handle (shared across all robots of
-/// the round). Arrival ports and co-located states are filled in by the
-/// engine, which owns that information.
+/// the round); either backend works. Arrival ports and co-located states
+/// are filled in by the engine, which owns that information.
 RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
                     Round round, CommModel comm, bool neighborhood,
-                    std::shared_ptr<const std::vector<InfoPacket>> packets,
-                    const NodeRobots* index = nullptr);
+                    PacketSet packets, const NodeRobots* index = nullptr);
 
 /// CSR-index overload; identical output.
 RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
                     Round round, CommModel comm, bool neighborhood,
-                    std::shared_ptr<const std::vector<InfoPacket>> packets,
-                    const NodeIndex& index);
+                    PacketSet packets, const NodeIndex& index);
 
 /// In-place view assembly for the engine's persistent view arena: fills
 /// `out` with exactly what make_view would produce for the fields `needs`
@@ -225,8 +243,8 @@ RobotView make_view(const Graph& g, const Configuration& conf, RobotId id,
 /// engine to fill, as in make_view.
 void fill_view(RobotView& out, const Graph& g, const Configuration& conf,
                RobotId id, Round round, CommModel comm, bool neighborhood,
-               const std::shared_ptr<const std::vector<InfoPacket>>& packets,
-               const NodeIndex& index, const ViewNeeds& needs);
+               const PacketSet& packets, const NodeIndex& index,
+               const ViewNeeds& needs);
 
 /// Convenience overload copying a plain packet vector (tests/examples).
 inline RobotView make_view(const Graph& g, const Configuration& conf,

@@ -1,0 +1,393 @@
+// Tests for the flat PacketArena broadcast backend
+// (EngineOptions::flat_packets): the CSR pool + offset tables are pure
+// storage, so a run with the arena on must be bitwise identical --
+// digest_run() equality -- to the legacy per-round vector<InfoPacket>
+// broadcast on every engine-path corner (flat x soa x structure_cache),
+// for every registered adversary, with crash faults, and with Byzantine
+// tampering in play. The fuzzer repeats this differential over random
+// configurations (check/fuzzer.cpp draws the flat_packets axis and the
+// differential-packets oracle); this file pins the canonical rows and the
+// arena's record-level equivalence to the legacy structs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/blind_walk.h"
+#include "baselines/dfs_dispersion.h"
+#include "baselines/greedy_local.h"
+#include "campaign/registry.h"
+#include "check/differential.h"
+#include "check/trial.h"
+#include "core/dispersion.h"
+#include "dynamic/random_adversary.h"
+#include "dynamic/static_adversary.h"
+#include "graph/builders.h"
+#include "robots/placement.h"
+#include "sim/byzantine.h"
+#include "sim/engine.h"
+#include "sim/packet_arena.h"
+#include "sim/sensing.h"
+#include "util/rng.h"
+
+/// Process-global operator-new counter, mirroring bench_roundtime's: the
+/// arena's whole point is fewer broadcast allocations, so this binary
+/// counts them and BroadcastAllocationsCollapseAtScale asserts the >= 5x
+/// acceptance claim directly. TU-local replacement -- the library never
+/// pays for it.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+// GCC's inliner pairs the replaceable operator new below with the default
+// allocator in some expansions and flags the std::free as mismatched; the
+// replacement is internally consistent (new -> malloc, delete -> free).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dyndisp {
+namespace {
+
+using check::diff_flat_packets;
+using check::digest_run;
+using check::Toolbox;
+using check::TrialConfig;
+
+// ---- Record-level equivalence: arena assembly vs legacy structs ----
+
+TEST(PacketArena, AssemblyMatchesLegacyRecordForRecord) {
+  const Graph g = builders::path(5);
+  const Configuration conf(5, {0, 0, 1, 3, 3});
+  const std::vector<InfoPacket> legacy = make_all_packets(g, conf, true);
+
+  NodeIndex index;
+  index.build(conf);
+  PacketArena arena;
+  std::size_t arena_bits = 0;
+  assemble_arena_metered(arena, g, conf, true, index, &arena_bits);
+
+  ASSERT_EQ(arena.headers.size(), legacy.size());
+  const PacketSet flat{std::make_shared<const PacketArena>(std::move(arena))};
+  const PacketSet vec = PacketSet::borrow(legacy);
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    SCOPED_TRACE("packet " + std::to_string(i));
+    EXPECT_EQ(flat[i].sender(), vec[i].sender());
+    EXPECT_EQ(flat[i].count(), vec[i].count());
+    EXPECT_EQ(flat[i].degree(), vec[i].degree());
+    EXPECT_TRUE(flat[i] == vec[i]);
+  }
+  EXPECT_TRUE(flat == vec);
+  EXPECT_EQ(packet_set_digest(flat), packet_set_digest(vec));
+
+  // Metering is part of the wire format: both backends report the same
+  // total and the same per-packet sizes.
+  const std::size_t k = conf.robot_count(), n = conf.node_count();
+  std::size_t legacy_bits = 0;
+  for (const InfoPacket& p : legacy) legacy_bits += packet_bit_size(p, k, n);
+  EXPECT_EQ(arena_bits, legacy_bits);
+  for (std::size_t i = 0; i < vec.size(); ++i)
+    EXPECT_EQ(packet_bit_size(flat[i], k, n), packet_bit_size(vec[i], k, n));
+}
+
+TEST(PacketArena, TamperRewritesOnlyLiarPackets) {
+  // The arena twin of the legacy tamper test: the lie rewrites the liar's
+  // header in place and leaves every honest packet untouched.
+  const Graph g = builders::path(4);
+  const Configuration conf(4, {0, 0, 1});
+  const std::vector<InfoPacket> honest = make_all_packets(g, conf, true);
+
+  NodeIndex index;
+  index.build(conf);
+  PacketArena arena;
+  assemble_arena_metered(arena, g, conf, true, index, nullptr);
+  const ByzantineModel model({1}, ByzantineLie::kHideMultiplicity);
+  model.tamper(arena);
+
+  ASSERT_EQ(arena.headers.size(), 2u);
+  const PacketView lied(arena, 0);
+  EXPECT_EQ(lied.sender(), 1u);
+  EXPECT_EQ(lied.count(), 1u);  // lied: really 2
+  ASSERT_EQ(lied.robot_count(), 1u);
+  EXPECT_EQ(lied.robot(0), 1u);
+  EXPECT_TRUE(PacketView(arena, 1) == PacketView(honest[1]));
+}
+
+// ---- The acceptance claim: >= 5x fewer broadcast allocations at scale ----
+
+TEST(PacketArena, BroadcastAllocationsCollapseAtScale) {
+  // The mega-row regime: k = 10^5 robots, n = 1.5k, random placement,
+  // random adversary. Assemble the same broadcasts through both backends
+  // and count operator-new calls (replacement above). The legacy path pays
+  // one vector per packet plus one per occupied neighbor, every round; the
+  // warmed-up arena refills in place, so its steady-state count is near
+  // zero and the >= 5x bound of the issue's acceptance criterion holds
+  // with orders of magnitude to spare. (bench_roundtime's per-row
+  // heap_allocs shows the same collapse diluted by graph construction and
+  // planning -- this isolates the broadcast itself.)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  const std::size_t k = 10000;  // sanitizer runs: same claim, smaller bill
+#else
+  const std::size_t k = 100000;
+#endif
+  const std::size_t n = k + k / 2, rounds = 3;
+  RandomAdversary adv(n, n / 10, 3);
+  Rng rng(1234);
+  const Configuration conf = placement::uniform_random(n, k, rng);
+  NodeIndex index;
+  index.build(conf);
+
+  std::vector<Graph> graphs;
+  graphs.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r)
+    graphs.push_back(adv.next_graph(static_cast<Round>(r), conf));
+
+  // Warm-up grows the arena to the high-water capacity of the instance
+  // (assemble_arena_metered clears and refills in place).
+  PacketArena arena;
+  for (const Graph& g : graphs)
+    assemble_arena_metered(arena, g, conf, true, index, nullptr);
+
+  const std::uint64_t before_flat = g_heap_allocs.load();
+  for (const Graph& g : graphs)
+    assemble_arena_metered(arena, g, conf, true, index, nullptr);
+  const std::uint64_t flat_allocs = g_heap_allocs.load() - before_flat;
+
+  std::uint64_t packets_assembled = 0;
+  const std::uint64_t before_legacy = g_heap_allocs.load();
+  for (const Graph& g : graphs)
+    packets_assembled += make_all_packets(g, conf, true).size();
+  const std::uint64_t legacy_allocs = g_heap_allocs.load() - before_legacy;
+
+  RecordProperty("flat_allocs", static_cast<int>(flat_allocs));
+  RecordProperty("legacy_allocs", static_cast<int>(legacy_allocs));
+  std::printf("[          ] %llu packets: %llu legacy vs %llu arena allocs\n",
+              static_cast<unsigned long long>(packets_assembled),
+              static_cast<unsigned long long>(legacy_allocs),
+              static_cast<unsigned long long>(flat_allocs));
+
+  // Uniform placement occupies ~n(1 - e^(-k/n)) ~ 0.49n nodes; one packet
+  // per occupied node per round.
+  ASSERT_GT(packets_assembled, rounds * k / 2);
+  EXPECT_GE(legacy_allocs, packets_assembled);
+  EXPECT_GE(legacy_allocs, 5 * (flat_allocs + 1))
+      << "legacy " << legacy_allocs << " vs flat " << flat_allocs
+      << " allocations over " << rounds << " rounds";
+}
+
+// ---- Engine-level bitwise identity: flat vs legacy ----
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(digest_run(a), digest_run(b));
+  // Digest equality implies all of these; spelled out so a failure names
+  // the first field that diverged instead of just two hashes.
+  EXPECT_EQ(a.dispersed, b.dispersed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.max_memory_bits, b.max_memory_bits);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packet_bits_sent, b.packet_bits_sent);
+  EXPECT_EQ(a.stalled_rounds, b.stalled_rounds);
+  EXPECT_EQ(a.max_occupied, b.max_occupied);
+  EXPECT_TRUE(a.final_config == b.final_config);
+}
+
+struct ModelRow {
+  const char* label;
+  CommModel comm;
+  bool neighborhood;
+  AlgorithmFactory factory;
+};
+
+const ModelRow kRows[] = {
+    {"global+nbhd (Algorithm 4, memoized)", CommModel::kGlobal, true,
+     core::dispersion_factory_memoized()},
+    {"global-only (blind walk)", CommModel::kGlobal, false,
+     baselines::blind_walk_factory()},
+    {"local-only (DFS dispersion)", CommModel::kLocal, false,
+     baselines::dfs_dispersion_factory()},
+    {"local+nbhd (greedy)", CommModel::kLocal, true,
+     baselines::greedy_local_factory()},
+};
+
+RunResult run_row(const ModelRow& row, bool flat, bool soa = true,
+                  bool structure_cache = true) {
+  const std::size_t n = 36, k = 24;
+  RandomAdversary adv(n, n / 3, 7);
+  EngineOptions opt;
+  opt.comm = row.comm;
+  opt.neighborhood_knowledge = row.neighborhood;
+  opt.max_rounds = 200;
+  opt.flat_packets = flat;
+  opt.soa = soa;
+  opt.structure_cache = structure_cache;
+  Engine engine(adv, placement::rooted(n, k), row.factory, opt);
+  return engine.run();
+}
+
+TEST(FlatPacketDeterminism, AllTableOneModelRows) {
+  for (const ModelRow& row : kRows)
+    expect_identical(run_row(row, true), run_row(row, false), row.label);
+}
+
+TEST(FlatPacketDeterminism, AllEnginePathCorners) {
+  // flat is a third independent toggle next to soa and structure_cache:
+  // every corner of the cube must agree (the issue's acceptance corner set
+  // is the quartet where at most one toggle is off; the full cube is
+  // cheaper to spell than to argue about).
+  for (const ModelRow& row : kRows) {
+    const RunResult base = run_row(row, true, true, true);
+    for (const bool flat : {true, false})
+      for (const bool soa : {true, false})
+        for (const bool sc : {true, false}) {
+          if (flat && soa && sc) continue;
+          expect_identical(base, run_row(row, flat, soa, sc),
+                           std::string(row.label) + " flat=" +
+                               (flat ? "on" : "off") + " soa=" +
+                               (soa ? "on" : "off") + " sc=" +
+                               (sc ? "on" : "off"));
+        }
+  }
+}
+
+TEST(FlatPacketDeterminism, ObservabilityCountersTrackTheActivePath) {
+  // The flat run must say it ran flat; the legacy run must not claim arena
+  // rounds it never performed (the counters feed bench analysis). Local
+  // comm never broadcasts, so neither path counts flat rounds there.
+  const RunResult flat = run_row(kRows[0], true);
+  EXPECT_EQ(flat.stats.flat_rounds, flat.rounds);
+  const RunResult legacy = run_row(kRows[0], false);
+  EXPECT_EQ(legacy.stats.flat_rounds, 0u);
+  const RunResult local = run_row(kRows[2], true);
+  EXPECT_EQ(local.stats.flat_rounds, 0u);
+  EXPECT_EQ(local.packets_sent, 0u);
+}
+
+// ---- Byzantine tamper: cross-path determinism ----
+
+TEST(FlatPacketDeterminism, ByzantineTamperAgreesAcrossBackends) {
+  // Tampered packets flow through the full-assembly path on both backends
+  // (a tampered broadcast is never a delta source); the lie must land
+  // identically -- including the deadlock the HideMultiplicity negative
+  // result pins -- whichever structure carries it.
+  const std::size_t n = 12, k = 8;
+  for (const ByzantineLie lie :
+       {ByzantineLie::kHideMultiplicity, ByzantineLie::kHideEmptyNeighbors}) {
+    for (const bool dynamic : {false, true}) {
+      SCOPED_TRACE(std::string("lie=") +
+                   (lie == ByzantineLie::kHideMultiplicity ? "multiplicity"
+                                                           : "empty-nbrs") +
+                   (dynamic ? " dynamic" : " static"));
+      RunResult results[2];
+      for (const bool flat : {true, false}) {
+        EngineOptions opt;
+        opt.max_rounds = 20 * k;
+        opt.record_progress = true;
+        opt.flat_packets = flat;
+        opt.byzantine =
+            std::make_shared<ByzantineModel>(std::set<RobotId>{1, 2}, lie);
+        if (dynamic) {
+          RandomAdversary adv(n, 4, 5);
+          Engine engine(adv, placement::rooted(n, k),
+                        core::dispersion_factory(), opt);
+          results[flat ? 0 : 1] = engine.run();
+        } else {
+          StaticAdversary adv(builders::path(n));
+          Engine engine(adv, placement::rooted(n, k),
+                        core::dispersion_factory(), opt);
+          results[flat ? 0 : 1] = engine.run();
+        }
+      }
+      expect_identical(results[0], results[1], "byzantine cross-backend");
+    }
+  }
+}
+
+// ---- Registry-wide differential, with and without faults ----
+
+TEST(FlatPacketDeterminism, EveryRegisteredAdversary) {
+  // diff_flat_packets runs the trial twice (flat forced on, then off)
+  // through the exact construction path dyndisp_sim and the campaigns use,
+  // so this covers adversary-specific broadcast reuse and delta paths
+  // (static replay, t-interval stability, churn deltas) on both backends.
+  const Toolbox toolbox;
+  for (const std::string& adversary :
+       campaign::Registry::instance().adversary_names()) {
+    TrialConfig c;
+    c.adversary = adversary;
+    c.n = 24;
+    c.k = 16;
+    c.seed = 11;
+    const auto report = diff_flat_packets(c, toolbox);
+    EXPECT_TRUE(report.ok) << adversary << ": " << report.detail;
+  }
+}
+
+TEST(FlatPacketDeterminism, SurvivesCrashFaults) {
+  // Crashes shrink packets mid-run; dead robots must vanish from the pool
+  // slices exactly as they vanish from the legacy vectors.
+  const Toolbox toolbox;
+  for (const std::uint64_t seed : {3u, 19u}) {
+    TrialConfig c;
+    c.n = 30;
+    c.k = 20;
+    c.faults = 5;
+    c.seed = seed;
+    const auto report = diff_flat_packets(c, toolbox);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.detail;
+  }
+}
+
+// ---- Config plumbing ----
+
+TEST(FlatPacketTrialConfig, JsonRoundTripAndSummarySuffix) {
+  TrialConfig c;
+  c.flat_packets = false;
+  const TrialConfig back = TrialConfig::parse_json(c.to_json());
+  EXPECT_FALSE(back.flat_packets);
+  EXPECT_NE(c.summary().find("|flat=off"), std::string::npos);
+  // On is the default and stays out of the summary (ids of pre-existing
+  // repro artifacts must not change).
+  c.flat_packets = true;
+  EXPECT_EQ(c.summary().find("flat"), std::string::npos);
+  EXPECT_TRUE(TrialConfig::parse_json(c.to_json()).flat_packets);
+}
+
+}  // namespace
+}  // namespace dyndisp

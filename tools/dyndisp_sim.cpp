@@ -69,6 +69,10 @@ flags (all optional):
                        results are identical either way; this exposes the
                        legacy per-round-allocation path for differential
                        proofs and benchmarking)
+  --no-flat-packets    disable the flat PacketArena broadcast backend
+                       (results are identical either way; this exposes the
+                       legacy per-round std::vector<InfoPacket> broadcast
+                       path for differential proofs and benchmarking)
   --faults F           robots to crash at random rounds (default 0)
   --liars L            Byzantine liars (robots 1..L) (default 0)
   --lie KIND           hide-multiplicity | hide-empty | erratic
@@ -141,6 +145,7 @@ int main(int argc, char** argv) {
     options.record_progress = true;
     if (args.has("no-structure-cache")) options.structure_cache = false;
     if (args.has("no-soa")) options.soa = false;
+    if (args.has("no-flat-packets")) options.flat_packets = false;
     if (activation < 1.0) {
       options.activation = Activation::kRandomSubset;
       options.activation_probability = activation;
