@@ -40,7 +40,6 @@
 // and exits -- no timing assertions, so it is safe on loaded CI machines.
 #include <sys/resource.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -62,59 +61,15 @@
 #include "sim/engine.h"
 #include "util/cli.h"
 #include "util/json.h"
+#include "util/memprobe.h"
 #include "util/table.h"
 
-/// Process-global heap-allocation counter: every operator-new bumps it, so
-/// the delta across an engine.run() is the run's allocation count. The
-/// counter is the measurement the packet arena exists to improve, and it
-/// lives here (not in the library) so only the bench pays for it.
-std::atomic<std::uint64_t> g_heap_allocs{0};
-
-// GCC's inliner pairs the replaceable operator new below with the default
-// allocator when it expands make_unique and then flags the std::free as
-// mismatched; the replacement is internally consistent (new -> malloc,
-// delete -> free), so the diagnostic is noise in this TU.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-
-namespace {
-
-std::uint64_t heap_alloc_count() {
-  return g_heap_allocs.load(std::memory_order_relaxed);
-}
-
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void* operator new(std::size_t size, std::align_val_t align) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  // aligned_alloc requires size to be a multiple of the alignment.
-  const std::size_t a = static_cast<std::size_t>(align);
-  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
-  if (void* p = std::aligned_alloc(a, rounded)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return ::operator new(size, align);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
+// Heap-allocation probe: the shared util/memprobe.h counter with this
+// binary's operator-new hook installed (see that header for why the hook
+// is per-binary). The counter is the measurement the packet arena exists
+// to improve; the delta across an engine.run() is the run's allocation
+// count.
+DYNDISP_MEMPROBE_DEFINE_GLOBAL_NEW
 
 namespace {
 
@@ -229,11 +184,12 @@ Row run(const AdversarySpec& spec, std::size_t k, std::size_t threads,
     opt.flat_packets = flat_packets;
     Engine engine(*adv, std::move(initial),
                   core::dispersion_factory_memoized(), opt);
-    const std::uint64_t allocs_before = heap_alloc_count();
+    const std::uint64_t allocs_before = dyndisp::memprobe::allocation_count();
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = engine.run();
     const auto t1 = std::chrono::steady_clock::now();
-    const std::uint64_t allocs = heap_alloc_count() - allocs_before;
+    const std::uint64_t allocs =
+        dyndisp::memprobe::allocation_count() - allocs_before;
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < row.wall_ms) row.wall_ms = ms;

@@ -4,6 +4,7 @@
 
 #include "core/structure_cache.h"
 #include "util/bits.h"
+#include "util/contract.h"
 
 namespace dyndisp::core {
 
@@ -18,6 +19,7 @@ std::unique_ptr<RobotAlgorithm> DispersionRobot::clone() const {
   return std::make_unique<DispersionRobot>(id_, k_, cache_, config_);
 }
 
+DYNDISP_HOT
 Port DispersionRobot::step(const RobotView& view) {
   assert(view.global_comm &&
          "Algorithm 4 is defined in the global communication model");

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/structure_cache.h"
+#include "util/contract.h"
 
 namespace dyndisp::core {
 
@@ -25,6 +26,7 @@ Port port_to_child(const SpanningTree& st, RobotId from, RobotId to) {
 
 }  // namespace
 
+DYNDISP_COLD
 SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
                          const PlannerConfig& config) {
   SlidePlan plan;
@@ -81,6 +83,7 @@ SlidePlan plan_component(const ComponentGraph& cg, const SpanningTree& st,
   return plan;
 }
 
+DYNDISP_COLD
 SlidePlan plan_round(const PacketSet& packets, const PlannerConfig& config) {
   SlidePlan plan;
   // Trivial (single-robot, edge-free) senders never carry multiplicity, so
@@ -130,6 +133,8 @@ const SlidePlan& PlanCache::get_locked(const PacketSet& packets,
   if (structure_ && hints != nullptr && hints->valid && packets.owned()) {
     value_ = structure_->plan(packets, *hints, config);
   } else {
+    // NOLINTNEXTLINE-dyndisp(hotpath-alloc): cache-miss slow path; the
+    // steady-state round takes the structure_->plan branch above.
     value_ = std::make_shared<const SlidePlan>(plan_round(packets, config));
   }
   valid_ = true;
@@ -138,19 +143,29 @@ const SlidePlan& PlanCache::get_locked(const PacketSet& packets,
 
 const SlidePlan& PlanCache::get(const std::vector<InfoPacket>& packets,
                                 const PlannerConfig& config) {
+  // NOLINTNEXTLINE-dyndisp(hotpath-blocking): the sanctioned
+  // serialization point -- plan probes call in from ThreadPool lanes;
+  // uncontended (and never waited on) in the per-round compute phase.
   std::lock_guard<std::mutex> lock(mu_);
   return get_locked(PacketSet::borrow(packets), nullptr, config);
 }
 
 const SlidePlan& PlanCache::get(const PacketSet& packets,
                                 const PlannerConfig& config) {
+  // NOLINTNEXTLINE-dyndisp(hotpath-blocking): the sanctioned
+  // serialization point -- plan probes call in from ThreadPool lanes;
+  // uncontended (and never waited on) in the per-round compute phase.
   std::lock_guard<std::mutex> lock(mu_);
   return get_locked(packets, nullptr, config);
 }
 
+DYNDISP_HOT
 const SlidePlan& PlanCache::get(const PacketSet& packets,
                                 const ReuseHints& hints,
                                 const PlannerConfig& config) {
+  // NOLINTNEXTLINE-dyndisp(hotpath-blocking): the sanctioned
+  // serialization point -- plan probes call in from ThreadPool lanes;
+  // uncontended (and never waited on) in the per-round compute phase.
   std::lock_guard<std::mutex> lock(mu_);
   return get_locked(packets, &hints, config);
 }

@@ -33,6 +33,7 @@ SpanningTree build_tree(const ComponentGraph& cg, const PlannerConfig& config) {
 StructureCache::StructureCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+DYNDISP_COLD
 StructureCache::CachedComponent StructureCache::build_one(
     const PacketSet& packets, RobotId seed, const PlannerConfig& config,
     std::vector<bool>& assigned) {
@@ -53,6 +54,7 @@ StructureCache::CachedComponent StructureCache::build_one(
   return cc;
 }
 
+DYNDISP_COLD
 bool StructureCache::try_delta(const Entry& prev, const PacketSet& packets,
                                const PlannerConfig& config, Entry& out) {
   const PacketSet& old_pk = prev.packets;
@@ -192,6 +194,7 @@ bool StructureCache::try_delta(const Entry& prev, const PacketSet& packets,
   return true;
 }
 
+DYNDISP_COLD
 void StructureCache::full_build(const PacketSet& packets,
                                 const PlannerConfig& config, Entry& out) {
   out.components.clear();
@@ -214,11 +217,15 @@ void StructureCache::full_build(const PacketSet& packets,
   out.merged = std::move(merged);
 }
 
+DYNDISP_HOT
 std::shared_ptr<const SlidePlan> StructureCache::plan(
     const PacketSet& packets, const ReuseHints& hints,
     const PlannerConfig& config) {
   assert(packets.owned() && "the cache retains the set across rounds");
   assert(hints.valid && "callers with invalid hints must use plan_round");
+  // NOLINTNEXTLINE-dyndisp(hotpath-blocking): the cache is shared by all
+  // robots of a run and the engine's plan probes; this lock is the
+  // sanctioned serialization point and is uncontended per round.
   std::lock_guard<std::mutex> lock(mu_);
 
   for (std::size_t idx = 0; idx < entries_.size(); ++idx) {

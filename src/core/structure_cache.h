@@ -47,13 +47,15 @@
 #include "core/spanning_tree.h"
 #include "sim/info_packet.h"
 #include "sim/reuse_hints.h"
+#include "util/contract.h"
 
 namespace dyndisp::core {
 
 /// Counters describing how the cache served its plan() calls. Exposed per
 /// instance (exact, for tests) and process-wide (see global_stats) for
-/// RunResult reporting.
-struct StructureCacheStats {
+/// RunResult reporting. Observability only (DYNDISP_STATS): the
+/// digest-exclusion lint rule keeps these out of result digests.
+struct DYNDISP_STATS StructureCacheStats {
   std::uint64_t exact_hits = 0;        ///< Rounds served without any rebuild.
   std::uint64_t delta_rounds = 0;      ///< Rounds served by a partial rebuild.
   std::uint64_t full_builds = 0;       ///< Rounds built from scratch.

@@ -13,6 +13,9 @@ LintRegistry::LintRegistry() {
   rules_["metering-serialize-fields"] = make_serialize_fields_rule;
   rules_["hygiene-include-cycle"] = make_include_cycle_rule;
   rules_["suppression-contract"] = make_suppression_contract_rule;
+  rules_["hotpath-alloc"] = make_hotpath_alloc_rule;
+  rules_["hotpath-blocking"] = make_hotpath_blocking_rule;
+  rules_["digest-exclusion"] = make_digest_exclusion_rule;
 }
 
 const LintRegistry& LintRegistry::instance() {

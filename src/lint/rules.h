@@ -43,4 +43,21 @@ std::unique_ptr<Rule> make_include_cycle_rule();
 /// rules must exist.
 std::unique_ptr<Rule> make_suppression_contract_rule();
 
+/// hotpath-alloc: heap allocation (new, make_unique/make_shared, growing
+/// container calls) in any function reachable from a DYNDISP_HOT round-
+/// loop root (util/contract.h), transitively over the call graph, with
+/// DYNDISP_COLD definitions as acknowledged boundaries. src/-scoped.
+std::unique_ptr<Rule> make_hotpath_alloc_rule();
+
+/// hotpath-blocking: locks, condition variables, iostream/stdio, and
+/// sleep-ish calls reachable from a DYNDISP_HOT root. Same scoping and
+/// cold boundaries as hotpath-alloc.
+std::unique_ptr<Rule> make_hotpath_blocking_rule();
+
+/// digest-exclusion: fields of DYNDISP_STATS-tagged observability structs
+/// must never appear in digest/serialize functions -- reuse counters vary
+/// with caching configuration, results must not (the dual of
+/// metering-serialize-fields).
+std::unique_ptr<Rule> make_digest_exclusion_rule();
+
 }  // namespace dyndisp::lint

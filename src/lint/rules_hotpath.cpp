@@ -1,0 +1,232 @@
+// The hot-path contract rules: transitive whole-tree analysis over the
+// symbol index (lint/index.h) rooted at DYNDISP_HOT annotations
+// (util/contract.h), plus the digest-exclusion dual of the Lemma-8
+// metering rule. All three are scoped to src/ (and tests/lint_fixtures/,
+// so the planted fixtures fire): tests and tools may allocate, print, and
+// lock freely -- the contract is about the engine's round loop.
+#include <cstddef>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/rule.h"
+#include "lint/rules.h"
+
+namespace dyndisp::lint {
+namespace {
+
+bool in_scope(const SourceFile& file) {
+  if (file.in_dir("lint_fixtures")) return true;
+  return file.in_dir("src") && !file.in_dir("tests") && !file.in_dir("tools");
+}
+
+std::vector<const SourceFile*> scoped(const std::vector<SourceFile>& files) {
+  std::vector<const SourceFile*> out;
+  for (const SourceFile& f : files)
+    if (in_scope(f)) out.push_back(&f);
+  return out;
+}
+
+/// "in DYNDISP_HOT function 'root'" or "reachable from DYNDISP_HOT root
+/// via root -> a -> b" -- the part of the message that says WHY the body
+/// is on the hot path.
+std::string hot_context(const FunctionDef& def, const HotReach& reach) {
+  if (reach.path.empty())
+    return "in DYNDISP_HOT function '" + def.qualified + "'";
+  return "in '" + def.qualified + "', reachable from a DYNDISP_HOT root via " +
+         reach.path;
+}
+
+bool in_set(const std::string& text, const char* const* names,
+            std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    if (text == names[i]) return true;
+  return false;
+}
+
+/// Shared driver for the two hot-path rules: builds the index over the
+/// scoped files, closes over the DYNDISP_HOT roots, and hands every
+/// hot-reachable definition to `scan`.
+template <typename ScanBody>
+void for_each_hot_def(const std::vector<SourceFile>& files,
+                      const ScanBody& scan) {
+  const std::vector<const SourceFile*> in = scoped(files);
+  if (in.empty()) return;
+  const SymbolIndex index = build_index(in);
+  const std::vector<HotReach> reach = hot_reachability(index);
+  for (std::size_t d = 0; d < index.defs.size(); ++d) {
+    if (!reach[d].reachable) continue;
+    scan(index, index.defs[d], reach[d]);
+  }
+}
+
+/// Container-growth member calls that (re)allocate when capacity is
+/// exceeded. resize/reserve/assign are deliberately absent: they are the
+/// in-place steady-state sizing idiom this codebase uses, and receivers
+/// with a trailing underscore (retained members, refilled in place once
+/// warmed up) are exempt -- that retained-buffer contract is exactly what
+/// the runtime AllocGuard twin (util/memprobe.h) verifies.
+const char* const kGrowthCalls[] = {"push_back", "emplace_back", "emplace",
+                                    "insert",    "append",       "append_all"};
+
+class HotpathAllocRule : public Rule {
+ public:
+  std::string name() const override { return "hotpath-alloc"; }
+
+  std::string description() const override {
+    return "heap allocation (new/make_unique/make_shared/container growth) "
+           "reachable from a DYNDISP_HOT round-loop root";
+  }
+
+  void check_tree(const std::vector<SourceFile>& files,
+                  std::vector<Diagnostic>& out) const override {
+    for_each_hot_def(files, [&](const SymbolIndex& index,
+                                const FunctionDef& def, const HotReach& reach) {
+      const SourceFile& file = *index.files[def.file];
+      const std::vector<Token>& toks = file.tokens();
+      for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        const bool op_new =
+            t.text == "new" &&
+            !(i >= 1 && toks[i - 1].kind == TokenKind::kIdentifier &&
+              toks[i - 1].text == "operator");
+        const bool maker = t.text == "make_unique" || t.text == "make_shared";
+        if (!op_new && !maker) continue;
+        out.push_back({file.path(), t.line, name(),
+                       "'" + t.text + "' allocates " +
+                           hot_context(def, reach)});
+      }
+      for (const CallSite& call : def.calls) {
+        if (!call.member_access) continue;
+        if (!in_set(call.callee, kGrowthCalls, std::size(kGrowthCalls)))
+          continue;
+        // Trailing-underscore receivers are retained members: their
+        // growth calls refill capacity reached in warm-up, which the
+        // zero-alloc runtime probe pins.
+        if (!call.receiver.empty() && call.receiver.back() == '_') continue;
+        out.push_back({file.path(), call.line, name(),
+                       "container growth '" + call.callee + "' " +
+                           hot_context(def, reach)});
+      }
+    });
+  }
+};
+
+/// Identifiers whose mere appearance in a hot-reachable body means
+/// blocking or I/O machinery is in play.
+const char* const kBlockingIdents[] = {
+    "mutex",       "timed_mutex",    "recursive_mutex", "shared_mutex",
+    "lock_guard",  "unique_lock",    "scoped_lock",     "shared_lock",
+    "condition_variable", "condition_variable_any",
+    "cout",        "cerr",           "clog",            "printf",
+    "fprintf",     "puts",           "fputs",           "fopen",
+    "fclose",      "fwrite",         "fread",           "fgets",
+    "system",      "sleep",          "usleep",          "nanosleep",
+    "sleep_for",   "sleep_until",    "ofstream",        "ifstream",
+    "fstream"};
+
+/// Member calls that block (taken with `.`/`->`, so BitWriter::write-style
+/// names stay out of scope).
+const char* const kBlockingMembers[] = {"lock",       "unlock", "try_lock",
+                                        "wait",       "notify_one",
+                                        "notify_all"};
+
+class HotpathBlockingRule : public Rule {
+ public:
+  std::string name() const override { return "hotpath-blocking"; }
+
+  std::string description() const override {
+    return "blocking or I/O call (locks, condition variables, streams, "
+           "stdio, sleeps) reachable from a DYNDISP_HOT round-loop root";
+  }
+
+  void check_tree(const std::vector<SourceFile>& files,
+                  std::vector<Diagnostic>& out) const override {
+    for_each_hot_def(files, [&](const SymbolIndex& index,
+                                const FunctionDef& def, const HotReach& reach) {
+      const SourceFile& file = *index.files[def.file];
+      const std::vector<Token>& toks = file.tokens();
+      for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        if (!in_set(t.text, kBlockingIdents, std::size(kBlockingIdents)))
+          continue;
+        out.push_back({file.path(), t.line, name(),
+                       "'" + t.text + "' blocks " + hot_context(def, reach)});
+      }
+      for (const CallSite& call : def.calls) {
+        if (!call.member_access) continue;
+        if (!in_set(call.callee, kBlockingMembers, std::size(kBlockingMembers)))
+          continue;
+        out.push_back({file.path(), call.line, name(),
+                       "blocking call '" + call.callee + "' " +
+                           hot_context(def, reach)});
+      }
+    });
+  }
+};
+
+class DigestExclusionRule : public Rule {
+ public:
+  std::string name() const override { return "digest-exclusion"; }
+
+  std::string description() const override {
+    return "field of a DYNDISP_STATS observability struct feeding a "
+           "digest/serialize function (the dual of "
+           "metering-serialize-fields)";
+  }
+
+  void check_tree(const std::vector<SourceFile>& files,
+                  std::vector<Diagnostic>& out) const override {
+    const std::vector<const SourceFile*> in = scoped(files);
+    if (in.empty()) return;
+    const SymbolIndex index = build_index(in);
+    if (index.stats.empty()) return;
+    // Field -> owning struct, plus the struct names themselves.
+    std::map<std::string, std::string> tagged;
+    for (const StatsStruct& s : index.stats) {
+      tagged[s.name] = s.name;
+      for (const std::string& field : s.fields) tagged[field] = s.name;
+    }
+    for (const FunctionDef& def : index.defs) {
+      const bool is_digest =
+          def.name.find("digest") != std::string::npos ||
+          def.name == "serialize";
+      if (!is_digest) continue;
+      const SourceFile& file = *index.files[def.file];
+      const std::vector<Token>& toks = file.tokens();
+      for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        const auto it = tagged.find(t.text);
+        if (it == tagged.end()) continue;
+        out.push_back({file.path(), t.line, name(),
+                       "'" + t.text + "' (DYNDISP_STATS struct " +
+                           it->second + ") read inside digest/serialize "
+                           "function '" + def.qualified +
+                           "' -- observability counters must stay out of "
+                           "result digests"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_hotpath_alloc_rule() {
+  return std::make_unique<HotpathAllocRule>();
+}
+
+std::unique_ptr<Rule> make_hotpath_blocking_rule() {
+  return std::make_unique<HotpathBlockingRule>();
+}
+
+std::unique_ptr<Rule> make_digest_exclusion_rule() {
+  return std::make_unique<DigestExclusionRule>();
+}
+
+}  // namespace dyndisp::lint

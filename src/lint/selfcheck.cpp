@@ -55,6 +55,27 @@ const Planted kViolations[] = {
      "#include <cstdlib>\n"
      "// NOLINT-dyndisp(determinism-random)\n"
      "int draw() { return std::rand(); }\n"},
+    {"hotpath-alloc", "src/fake/hot_alloc.cpp",
+     "#include <memory>\n"
+     "#include \"util/contract.h\"\n"
+     "int helper() { auto boxed = std::make_unique<int>(3); return *boxed; }\n"
+     "DYNDISP_HOT int round_tick() { return helper(); }\n"},
+    {"hotpath-blocking", "src/fake/hot_block.cpp",
+     "#include <mutex>\n"
+     "#include \"util/contract.h\"\n"
+     "int guarded(std::mutex& mu) {\n"
+     "  std::lock_guard<std::mutex> lock(mu);\n"
+     "  return 1;\n"
+     "}\n"
+     "DYNDISP_HOT int round_tick(std::mutex& mu) { return guarded(mu); }\n"},
+    {"digest-exclusion", "src/fake/stats_digest.cpp",
+     "#include <cstdint>\n"
+     "#include \"util/contract.h\"\n"
+     "struct DYNDISP_STATS FakeStats { std::uint64_t reuses = 0; };\n"
+     "struct FakeResult { std::uint64_t rounds = 0; FakeStats stats; };\n"
+     "std::uint64_t digest_run(const FakeResult& r) {\n"
+     "  return r.rounds ^ r.stats.reuses;\n"
+     "}\n"},
 };
 
 // Clean snippets: production-shaped code that must stay silent.
@@ -85,6 +106,34 @@ const Planted kClean[] = {
      "  unsigned k_ = 0;  // NOLINT-dyndisp(metering-serialize-fields): "
      "model parameter, not between-round state\n"
      "};\n"},
+    // A DYNDISP_COLD boundary makes the allocating slow path invisible to
+    // the transitive closure: the reviewed cold annotation IS the fix.
+    {"hotpath-alloc", "src/fake/hot_alloc_ok.cpp",
+     "#include <memory>\n"
+     "#include \"util/contract.h\"\n"
+     "DYNDISP_COLD int rebuild() {\n"
+     "  auto fresh = std::make_unique<int>(3);\n"
+     "  return *fresh;\n"
+     "}\n"
+     "DYNDISP_HOT int round_tick(bool miss) { return miss ? rebuild() : 0; }\n"},
+    {"hotpath-blocking", "src/fake/hot_block_ok.cpp",
+     "#include <cstdio>\n"
+     "#include \"util/contract.h\"\n"
+     "DYNDISP_COLD void report() { std::printf(\"cold path\\n\"); }\n"
+     "DYNDISP_HOT int round_tick(bool fail) {\n"
+     "  if (fail) report();\n"
+     "  return 0;\n"
+     "}\n"},
+    // Digest reads only untagged result fields; the tagged struct sits in
+    // the same record but never feeds the digest.
+    {"digest-exclusion", "src/fake/stats_digest_ok.cpp",
+     "#include <cstdint>\n"
+     "#include \"util/contract.h\"\n"
+     "struct DYNDISP_STATS FakeStats { std::uint64_t reuses = 0; };\n"
+     "struct FakeResult { std::uint64_t rounds = 0; FakeStats stats; };\n"
+     "std::uint64_t digest_run(const FakeResult& r) {\n"
+     "  return r.rounds * 1099511628211ull;\n"
+     "}\n"},
 };
 
 // The two sides of the suppression contract, exercised on a real rule.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/contract.h"
+
 namespace dyndisp {
 
 ByzantineModel::ByzantineModel(std::set<RobotId> liars, ByzantineLie lie)
@@ -19,6 +21,7 @@ std::string ByzantineModel::lie_name() const {
   return "byzantine";
 }
 
+DYNDISP_COLD
 void ByzantineModel::tamper(std::vector<InfoPacket>& packets) const {
   if (lie_ == ByzantineLie::kErraticMoves) return;  // movement-only attack
   for (InfoPacket& pkt : packets) {
@@ -42,6 +45,7 @@ void ByzantineModel::tamper(std::vector<InfoPacket>& packets) const {
   }
 }
 
+DYNDISP_COLD
 void ByzantineModel::tamper(PacketArena& packets) const {
   if (lie_ == ByzantineLie::kErraticMoves) return;  // movement-only attack
   for (ArenaPacket& pkt : packets.headers) {

@@ -9,6 +9,7 @@
 
 #include "core/structure_cache.h"
 #include "dynamic/validator.h"
+#include "util/memprobe.h"
 #include "util/parallel.h"
 
 namespace dyndisp {
@@ -28,6 +29,8 @@ Engine::Engine(Adversary& adversary, Configuration initial,
   const std::size_t k = conf_.robot_count();
   robots_.reserve(k);
   for (RobotId id = 1; id <= k; ++id) robots_.push_back(factory(id, k));
+  raw_robots_.reserve(k);
+  for (const auto& r : robots_) raw_robots_.push_back(r.get());
   arrival_ports_.assign(k, kInvalidPort);
   active_.assign(k, true);
   states_.assign(k, nullptr);
@@ -87,15 +90,15 @@ ReuseHints Engine::make_hints(const Graph& g) const {
   return hints;
 }
 
-MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
-                         Round round, const EngineOptions& options,
-                         const std::vector<Port>& arrival_ports,
-                         const std::vector<bool>& active,
-                         const std::vector<RobotAlgorithm*>& robots,
-                         const RoundContext& ctx, PacketSet packets,
-                         const ReuseHints& hints, ThreadPool* pool,
-                         std::vector<RobotView>* view_arena,
-                         const ViewNeeds& needs) {
+void Engine::plan_on(const Graph& g, const Configuration& conf,
+                     Round round, const EngineOptions& options,
+                     const std::vector<Port>& arrival_ports,
+                     const std::vector<bool>& active,
+                     const std::vector<RobotAlgorithm*>& robots,
+                     const RoundContext& ctx, PacketSet packets,
+                     const ReuseHints& hints, ThreadPool* pool,
+                     std::vector<RobotView>* view_arena,
+                     const ViewNeeds& needs, MovePlan& plan) {
   const bool neighborhood = options.neighborhood_knowledge;
   const std::size_t k = conf.robot_count();
 
@@ -135,7 +138,7 @@ MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
 
   // Phase 2: every robot computes; state mutations cannot leak into views
   // (robots mutate only their own state, so the fan-out is race-free).
-  MovePlan plan(k, kInvalidPort);
+  plan.assign(k, kInvalidPort);
   parallel_for(pool, k, [&](std::size_t i) {
     const RobotId id = static_cast<RobotId>(i + 1);
     if (!conf.alive(id) || !active[i]) return;
@@ -151,7 +154,6 @@ MovePlan Engine::plan_on(const Graph& g, const Configuration& conf,
                                                      round)
                   : p;
   });
-  return plan;
 }
 
 MovePlan Engine::probe_plan(const Graph& candidate) const {
@@ -180,20 +182,19 @@ MovePlan Engine::probe_plan(const Graph& candidate) const {
   // carry the CANDIDATE's fingerprint: the dry-run broadcast is a function
   // of the candidate graph, and a cached structure only serves it after a
   // content compare, so probing can never leak a wrong plan.
-  return plan_on(candidate, conf_, probe_round_, options_, arrival_ports_,
-                 active_, raw, *round_ctx_, std::move(packets),
-                 make_hints(candidate), pool_.get(),
-                 options_.soa ? &views_arena_ : nullptr, needs_);
+  MovePlan plan;
+  plan_on(candidate, conf_, probe_round_, options_, arrival_ports_, active_,
+          raw, *round_ctx_, std::move(packets), make_hints(candidate),
+          pool_.get(), options_.soa ? &views_arena_ : nullptr, needs_, plan);
+  return plan;
 }
 
-MovePlan Engine::compute_plan(const Graph& g, Round round,
-                              const RoundContext& ctx) {
-  std::vector<RobotAlgorithm*> raw;
-  raw.reserve(robots_.size());
-  for (const auto& r : robots_) raw.push_back(r.get());
-  return plan_on(g, conf_, round, options_, arrival_ports_, active_, raw, ctx,
-                 ctx.packets(), make_hints(g), pool_.get(),
-                 options_.soa ? &views_arena_ : nullptr, needs_);
+MovePlan& Engine::compute_plan(const Graph& g, Round round,
+                               const RoundContext& ctx) {
+  plan_on(g, conf_, round, options_, arrival_ports_, active_, raw_robots_,
+          ctx, ctx.packets(), make_hints(g), pool_.get(),
+          options_.soa ? &views_arena_ : nullptr, needs_, plan_buf_);
+  return plan_buf_;
 }
 
 void Engine::draw_activation() {
@@ -273,6 +274,10 @@ RunResult Engine::run() {
     if (conf_.alive(id)) refresh_state(id);
 
   for (Round r = 0; r < options_.max_rounds; ++r) {
+    // Allocation window: opened as the loop body's first statement and
+    // closed (with its push_back) as the last, so the probe's own recording
+    // never lands inside any measured round.
+    const std::uint64_t round_allocs_start = memprobe::allocation_count();
     for (const RobotId id : faults_.crashes_at(r, CrashPhase::kBeforeCommunicate)) {
       if (conf_.alive(id)) {
         conf_.kill(id);
@@ -401,7 +406,7 @@ RunResult Engine::run() {
       }
     }
 
-    MovePlan plan = compute_plan(graph_, r, ctx_);
+    MovePlan& plan = compute_plan(graph_, r, ctx_);
     round_ctx_ = nullptr;
     if (options_.soa) {
       for (std::size_t i = 0; i < active_.size(); ++i)
@@ -481,10 +486,14 @@ RunResult Engine::run() {
       // Copy, not move: graph_ persists as the next round's G_{r-1}.
       rec.graph = graph_;
       rec.before = before;
-      rec.moves = std::move(plan);
+      rec.moves = plan;  // Copy: plan_buf_ persists across rounds.
       rec.after = conf_;
       rec.newly_occupied = newly;
       res.trace.add(std::move(rec));
+    }
+    if (options_.alloc_probe) {
+      res.allocs_per_round.push_back(memprobe::allocation_count() -
+                                     round_allocs_start);
     }
   }
 

@@ -35,6 +35,7 @@
 #include "sim/round_context.h"
 #include "sim/sensing.h"
 #include "sim/trace.h"
+#include "util/contract.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -141,6 +142,15 @@ struct EngineOptions {
   bool flat_packets = true;
   /// Record a full per-round trace (heavy).
   bool record_trace = false;
+  /// Record per-round heap-allocation counts into
+  /// RunResult::allocs_per_round, windowed so the recording itself never
+  /// lands inside a measured round. Counts are real only in binaries that
+  /// install the util/memprobe.h operator-new hook
+  /// (DYNDISP_MEMPROBE_DEFINE_GLOBAL_NEW); elsewhere every entry is 0.
+  /// This is the runtime twin of the hotpath-alloc lint rule: the
+  /// steady-state zero-allocation test pins warmed-up arena/SoA rounds
+  /// to exactly 0 through this option.
+  bool alloc_probe = false;
   /// Record per-round occupied counts (cheap) for progress plots.
   bool record_progress = false;
   /// Allow running an algorithm whose declared requirements exceed what the
@@ -174,8 +184,10 @@ struct EngineOptions {
 /// Observability only: these fields are deliberately excluded from run
 /// digests (check/trial.cpp) and campaign records, so toggling
 /// EngineOptions::structure_cache can never change a correctness-compared
-/// output -- the differential suite relies on exactly that.
-struct RoundLoopStats {
+/// output -- the differential suite relies on exactly that. The exclusion
+/// is machine-checked: the DYNDISP_STATS tag makes any read of these
+/// fields inside a digest/serialize function a digest-exclusion finding.
+struct DYNDISP_STATS RoundLoopStats {
   std::size_t same_graph_rounds = 0;    ///< Rounds where G_r == G_{r-1}.
   std::size_t graph_reuses = 0;         ///< next_graph calls skipped (hint).
   std::size_t validations_skipped = 0;  ///< Re-validations of an unchanged graph skipped.
@@ -233,6 +245,9 @@ struct RunResult {
   Round exploration_round = kNeverExplored;
   Configuration final_config;
   std::vector<std::size_t> occupied_per_round;  ///< If record_progress.
+  /// Heap allocations per executed round (if alloc_probe; see the option
+  /// for the hook caveat). Observability only, like stats.
+  std::vector<std::uint64_t> allocs_per_round;
   Trace trace;                                  ///< If record_trace.
   RoundLoopStats stats;  ///< Reuse counters; excluded from digests/records.
 };
@@ -258,6 +273,11 @@ class Engine {
   EngineOptions options_;
   FaultSchedule faults_;
   std::vector<std::unique_ptr<RobotAlgorithm>> robots_;  // index id-1
+  /// Non-owning view of robots_, built once: the compute phase hands
+  /// plan_on a raw-pointer span every round, and rebuilding the vector per
+  /// round was a per-round allocation (probes still build their own from
+  /// clones).
+  std::vector<RobotAlgorithm*> raw_robots_;
   MemoryMeter meter_;
   Round probe_round_ = 0;  ///< Round whose graph the adversary is building.
 
@@ -303,14 +323,17 @@ class Engine {
   std::uint64_t validated_fp_ = 0;
   Graph::Delta graph_delta_;         ///< Scratch: G_r vs G_{r-1}.
   std::vector<NodeId> dirty_nodes_;  ///< Scratch: delta-assembly dirty set.
+  MovePlan plan_buf_;                ///< Retained compute-phase plan buffer.
   std::size_t state_handles_reused_ = 0;  ///< refresh_state byte-equal keeps.
 
   /// Dry-runs all alive robots' compute phases on a candidate graph,
   /// reusing the current round's context (state snapshots, node index).
   MovePlan probe_plan(const Graph& candidate) const;
 
-  /// Runs the real compute phase on `g`, mutating robot state.
-  MovePlan compute_plan(const Graph& g, Round round, const RoundContext& ctx);
+  /// Runs the real compute phase on `g`, mutating robot state. Returns
+  /// the retained plan_buf_ (refilled in place each round; valid until the
+  /// next compute_plan call).
+  MovePlan& compute_plan(const Graph& g, Round round, const RoundContext& ctx);
 
   /// Views are assembled for ALL robots first (so state exchange reflects
   /// the synchronous start-of-round snapshot), then every robot steps.
@@ -320,15 +343,17 @@ class Engine {
   /// When `view_arena` is non-null (SoA loop) views are filled in place
   /// into its slots under `needs` gating; null runs the per-round
   /// allocating layout with full views.
-  static MovePlan plan_on(const Graph& g, const Configuration& conf,
-                          Round round, const EngineOptions& options,
-                          const std::vector<Port>& arrival_ports,
-                          const std::vector<bool>& active,
-                          const std::vector<RobotAlgorithm*>& robots,
-                          const RoundContext& ctx, PacketSet packets,
-                          const ReuseHints& hints, ThreadPool* pool,
-                          std::vector<RobotView>* view_arena,
-                          const ViewNeeds& needs);
+  /// `plan` is an out-parameter refilled via assign() so the round loop's
+  /// retained buffer never reallocates in steady state.
+  static void plan_on(const Graph& g, const Configuration& conf,
+                      Round round, const EngineOptions& options,
+                      const std::vector<Port>& arrival_ports,
+                      const std::vector<bool>& active,
+                      const std::vector<RobotAlgorithm*>& robots,
+                      const RoundContext& ctx, PacketSet packets,
+                      const ReuseHints& hints, ThreadPool* pool,
+                      std::vector<RobotView>* view_arena,
+                      const ViewNeeds& needs, MovePlan& plan);
 
   /// Hints describing the broadcast for graph `g` this round; valid only
   /// when the structure-cache loop is on, communication is global, and no

@@ -10,6 +10,7 @@
 
 namespace dyndisp {
 
+DYNDISP_HOT
 void RoundContext::begin_round(const Configuration& conf,
                                const std::vector<StateHandle>& states,
                                bool build_state_lists) {
@@ -89,9 +90,14 @@ void RoundContext::begin_round(const Configuration& conf,
       ++counters_.node_state_lists_reused;
       continue;
     }
+    // NOLINTNEXTLINE-dyndisp(hotpath-alloc): state lists are rebuilt only
+    // for nodes whose occupancy changed; unchanged nodes keep their list
+    // by handle (node_state_lists_reused counts the reuses).
     auto list = std::make_shared<std::vector<StateHandle>>();
     list->reserve(count);
     for (std::size_t i = 0; i < count; ++i)
+      // NOLINTNEXTLINE-dyndisp(hotpath-alloc): fills the freshly allocated
+      // list above -- same changed-node slow path, reserved to exact size.
       list->push_back(states[here[i] - 1]);
     node_states_[v] = std::move(list);
   }
@@ -109,11 +115,14 @@ std::shared_ptr<PacketArena> RoundContext::acquire_arena() {
   // buffer joins the pool up to the cap, beyond which it lives and dies with
   // its broadcast.
   constexpr std::size_t kArenaPoolCap = 8;
+  // NOLINTNEXTLINE-dyndisp(hotpath-alloc): pool-miss path only; a warmed-up
+  // run cycles pooled buffers (scratch_reuses counts the steady state).
   auto fresh = std::make_shared<PacketArena>();
   if (arena_pool_.size() < kArenaPoolCap) arena_pool_.push_back(fresh);
   return fresh;
 }
 
+DYNDISP_HOT
 void RoundContext::assemble_packets(const Graph& g, const Configuration& conf,
                                     bool with_neighborhood,
                                     const ByzantineModel* byzantine,
@@ -144,10 +153,12 @@ void RoundContext::assemble_packets(const Graph& g, const Configuration& conf,
     packet_nodes_.clear();
   }
   packets_ =
+      // NOLINTNEXTLINE-dyndisp(hotpath-alloc): legacy-backend publication
+      // (flat_packets off); the flat path republishes pooled arenas.
       std::make_shared<const std::vector<InfoPacket>>(std::move(assembled));
 }
 
-void RoundContext::reuse_packets() {
+DYNDISP_HOT void RoundContext::reuse_packets() {
   assert(!packets_ && "the round's broadcast is assembled exactly once");
   assert(prev_packets_ && prev_packet_nodes_.size() == prev_packets_.size() &&
          "reuse requires an untampered previous broadcast");
@@ -157,6 +168,7 @@ void RoundContext::reuse_packets() {
   packet_bits_ = prev_packet_bits_;
 }
 
+DYNDISP_HOT
 void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
                                  bool with_neighborhood,
                                  const std::vector<NodeId>& dirty_nodes,
@@ -185,6 +197,8 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
   std::vector<NodeId> nodes;
   nodes.reserve(conf.occupied_count());
   for (NodeId v = 0; v < n; ++v)
+    // NOLINTNEXTLINE-dyndisp(hotpath-alloc): legacy delta branch scratch
+    // (flat_packets off); delta_flat below runs on retained buffers.
     if (!index_.empty(v)) nodes.push_back(v);
 
   const std::vector<InfoPacket>& prev_vec = *prev_packets_.legacy_vec();
@@ -213,6 +227,7 @@ void RoundContext::delta_packets(const Graph& g, const Configuration& conf,
   publish_sorted(std::move(assembled), std::move(bits), std::move(nodes));
 }
 
+DYNDISP_HOT
 void RoundContext::delta_flat(const Graph& g, const Configuration& conf,
                               bool with_neighborhood, ThreadPool* pool) {
   assert(prev_packets_.flat() && "flat deltas source from a flat broadcast");
@@ -269,6 +284,9 @@ void RoundContext::delta_flat(const Graph& g, const Configuration& conf,
       }
     }
     nb_cursor += h.nb_count;
+    // NOLINTNEXTLINE-dyndisp(hotpath-alloc): retained header table of a
+    // pooled arena -- capacity is reached during warm-up, after which the
+    // refill is in place (the zero-alloc memprobe test pins this).
     arena.headers.push_back(h);
   }
   arena.neighbors.resize(nb_cursor);
@@ -339,6 +357,7 @@ void RoundContext::delta_flat(const Graph& g, const Configuration& conf,
   packets_ = PacketSet::ArenaHandle(std::move(arena_ptr));
 }
 
+DYNDISP_COLD
 void RoundContext::publish_sorted(std::vector<InfoPacket> assembled,
                                   std::vector<std::size_t> bits,
                                   std::vector<NodeId> nodes) {

@@ -34,6 +34,7 @@
 #include "robots/configuration.h"
 #include "sim/byzantine.h"
 #include "sim/sensing.h"
+#include "util/contract.h"
 
 namespace dyndisp {
 
@@ -151,7 +152,9 @@ class RoundContext {
   std::size_t packet_bits() const { return packet_bits_; }
 
   /// Reuse effectiveness, counted (cumulative over the context's lifetime).
-  struct Counters {
+  /// Observability only (DYNDISP_STATS, see util/contract.h): the
+  /// digest-exclusion lint rule keeps these fields out of result digests.
+  struct DYNDISP_STATS Counters {
     std::size_t node_state_lists_reused = 0;  ///< Lists kept by handle.
     std::size_t packets_copied = 0;    ///< Packets copied on delta rounds.
     std::size_t packets_rebuilt = 0;   ///< Packets rebuilt on delta rounds.

@@ -1,5 +1,7 @@
 #include "util/parallel.h"
 
+#include "util/contract.h"
+
 namespace dyndisp {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -46,6 +48,7 @@ void ThreadPool::worker_loop(std::size_t lane) {
   }
 }
 
+DYNDISP_COLD
 void ThreadPool::for_each(std::size_t count,
                           const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
@@ -79,14 +82,5 @@ void ThreadPool::for_each(std::size_t count,
   }
 }
 
-void parallel_for(ThreadPool* pool, std::size_t count,
-                  const std::function<void(std::size_t)>& body) {
-  if (pool == nullptr || pool->thread_count() == 1 ||
-      count < kParallelForSerialCutoff) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-  pool->for_each(count, body);
-}
 
 }  // namespace dyndisp

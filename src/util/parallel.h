@@ -78,7 +78,23 @@ inline constexpr std::size_t kParallelForSerialCutoff = 192;
 /// below kParallelForSerialCutoff (the small-problem regression guard).
 /// ThreadPool::for_each itself never applies the cutoff -- callers that
 /// always want the fan-out call it directly.
-void parallel_for(ThreadPool* pool, std::size_t count,
-                  const std::function<void(std::size_t)>& body);
+///
+/// A template, not a std::function parameter, on purpose: the engine's
+/// round-loop bodies capture several references, which exceeds the small-
+/// buffer size of libstdc++'s std::function -- a std::function signature
+/// would heap-allocate a temporary on EVERY call, serial path included,
+/// breaking the zero-allocation steady-state contract the hot-path lint
+/// rules and util/memprobe.h pin. The serial path below calls the body
+/// directly (no wrapper, no allocation); only the multi-lane dispatch
+/// wraps, and by reference_wrapper (one pointer, inside any SBO).
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t count, Body&& body) {
+  if (pool == nullptr || pool->thread_count() == 1 ||
+      count < kParallelForSerialCutoff) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool->for_each(count, std::function<void(std::size_t)>(std::ref(body)));
+}
 
 }  // namespace dyndisp

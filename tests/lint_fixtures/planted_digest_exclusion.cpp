@@ -1,0 +1,28 @@
+// Planted violation: digest-exclusion must flag a DYNDISP_STATS-tagged
+// struct's fields leaking into digest/serialization code -- observability
+// counters must never feed result digests. NOT part of the build; linted
+// explicitly by tests (the driver skips lint_fixtures/ during tree
+// scans). The annotation macro is spelled bare (no contract.h include):
+// the rule keys on the identifier tokens.
+#include <cstdint>
+
+namespace planted {
+
+struct DYNDISP_STATS RunStats {
+  std::uint64_t cache_reuses = 0;
+  std::uint64_t arena_refills = 0;
+};
+
+struct Result {
+  RunStats stats;
+  std::uint64_t rounds = 0;
+};
+
+std::uint64_t result_digest(const Result& r) {
+  std::uint64_t d = r.rounds * 0x9e3779b97f4a7c15ull;
+  d ^= r.stats.cache_reuses;   // violation: stats field in a digest
+  d ^= r.stats.arena_refills;  // violation: stats field in a digest
+  return d;
+}
+
+}  // namespace planted

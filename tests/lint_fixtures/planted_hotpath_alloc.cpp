@@ -1,0 +1,27 @@
+// Planted violation: hotpath-alloc must flag allocating calls reachable
+// from a DYNDISP_HOT root -- both directly and through a call chain. NOT
+// part of the build; linted explicitly by tests (the driver skips
+// lint_fixtures/ during tree scans). The annotation macros are spelled
+// bare (no contract.h include): the rule keys on the identifier tokens.
+#include <memory>
+#include <vector>
+
+namespace planted {
+
+int* deep_helper() {
+  return new int(7);  // violation: operator new, two hops from the root
+}
+
+int mid_helper() {
+  auto p = std::make_unique<int>(*deep_helper());  // violation: make_unique
+  return *p;
+}
+
+DYNDISP_HOT
+int round_tick(std::vector<int>& scratch) {
+  scratch.push_back(mid_helper());  // violation: container growth on a
+                                    // non-retained (no trailing _) receiver
+  return scratch.back();
+}
+
+}  // namespace planted

@@ -1,0 +1,21 @@
+// Planted violation: hotpath-blocking must flag locks, I/O, and sleeps
+// reachable from a DYNDISP_HOT root. NOT part of the build; linted
+// explicitly by tests (the driver skips lint_fixtures/ during tree
+// scans). The annotation macro is spelled bare (no contract.h include):
+// the rule keys on the identifier tokens.
+#include <cstdio>
+#include <mutex>
+
+namespace planted {
+
+std::mutex g_mu;  // the declaration alone is not reachable code
+
+void guarded_helper(int x) {
+  std::lock_guard<std::mutex> lock(g_mu);  // violation: lock on the hot path
+  std::printf("%d\n", x);                  // violation: I/O on the hot path
+}
+
+DYNDISP_HOT
+void round_tick(int x) { guarded_helper(x); }
+
+}  // namespace planted
