@@ -21,7 +21,7 @@
 // k=10^5 run collapsing by >5x -- is visible.
 //
 //   bench_roundtime [--json] [--out=FILE] [--threads=1,8] [--reps=N]
-//                   [--smoke] [--validate[=FILE]]
+//                   [--smoke] [--mega] [--mega-smoke] [--validate[=FILE]]
 //
 // Each (adversary, k, threads) tuple runs a quartet of engine paths -- all
 // toggles on (the default engine), then cache / soa / flat off one at a
@@ -30,14 +30,24 @@
 // would add minutes for no new information; the toggles' identity is
 // pinned up through k=10^5). `--smoke` shrinks the sweep to one tiny size
 // per adversary plus the k=4096 mega row (CI-friendly: seconds, not
-// minutes). Bare `--validate` checks, after the sweep, that every tuple's
+// minutes). `--mega` appends the k=10^6 headline row to the mega section
+// (several minutes and >1 GB RSS, so scripts/repro.sh gates it behind
+// DYNDISP_MEGA=1; see docs/PERFORMANCE.md). `--mega-smoke` instead runs
+// ONLY the mega spec at k=65536 (default corner, threads=1) and exits
+// nonzero if the run misses its heap-allocation or peak-RSS ceilings --
+// the CI-sized canary for the mega row's memory diet, deterministic where
+// wall-clock on shared runners is not. Bare `--validate` checks, after the sweep, that every tuple's
 // engine paths agreed on all round observables (robot_rounds, rounds,
 // packet_mbits, dispersed) -- the three toggles claim bitwise identity,
 // and this is that claim at bench scale. `--validate=FILE` parses a
-// previously written JSON file, checks it against schema v4 (field
+// previously written JSON file, checks it against schema v5 (field
 // presence/types, soa and flat on/off pairing below k=10^6, per-tuple
 // observable identity, reuse counters nonzero on the replay-heavy rows),
 // and exits -- no timing assertions, so it is safe on loaded CI machines.
+//
+// Schema v5 adds the engine's per-phase wall-time buckets (phase_*_ms from
+// RoundLoopStats: graph_build / broadcast / plan / compute / move), so the
+// mega rows' time is attributable without a profiler.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -75,12 +85,22 @@ namespace {
 
 using namespace dyndisp;
 
-constexpr std::uint64_t kSchemaVersion = 4;
+constexpr std::uint64_t kSchemaVersion = 5;
 constexpr std::uint64_t kSeed = 11;
 
 /// k at and above which only the default engine corner runs (and the
 /// validators stop demanding toggle pairing): the mega headline row.
 constexpr std::size_t kDefaultCornerOnlyK = 1000000;
+
+/// --mega-smoke ceilings for the k=65536 mega row (default corner,
+/// threads=1). Allocation counts are deterministic (the memprobe counter
+/// is exact) and peak RSS at this scale is dominated by n-proportional
+/// state, so both are stable across machines; the margins are ~1.5x the
+/// measured values so only a real regression -- a reintroduced retained
+/// copy, a per-round allocation leak -- trips them, not noise.
+constexpr std::size_t kMegaSmokeK = 65536;
+constexpr std::uint64_t kMegaSmokeAllocCeiling = 9'500'000;
+constexpr double kMegaSmokeRssCeilingMb = 150;
 
 struct Row {
   std::string adversary;
@@ -279,6 +299,11 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
     w.member("before_copies_skipped",
              static_cast<std::uint64_t>(r.stats.before_copies_skipped));
     w.member("flat_rounds", static_cast<std::uint64_t>(r.stats.flat_rounds));
+    w.member("phase_graph_build_ms", r.stats.phase_graph_build_ms);
+    w.member("phase_broadcast_ms", r.stats.phase_broadcast_ms);
+    w.member("phase_plan_ms", r.stats.phase_plan_ms);
+    w.member("phase_compute_ms", r.stats.phase_compute_ms);
+    w.member("phase_move_ms", r.stats.phase_move_ms);
     w.end_object();
   }
   w.end_array();
@@ -337,7 +362,7 @@ void validate_rows(const std::vector<Row>& rows) {
               tuples.size());
 }
 
-// ---- --validate=FILE: schema v4 checks, no timing assertions ----
+// ---- --validate=FILE: schema v5 checks, no timing assertions ----
 
 const JsonValue& req(const JsonValue& obj, const std::string& key) {
   const JsonValue* v = obj.find(key);
@@ -365,8 +390,10 @@ int validate_file(const std::string& path) {
       "broadcast_deltas", "packets_copied", "packets_rebuilt",
       "sc_exact_hits", "sc_components_reused", "soa_rounds", "arena_views",
       "state_list_rounds_skipped", "before_copies_skipped", "flat_rounds"};
-  static const char* const kNumbers[] = {"wall_ms", "robot_rounds_per_sec",
-                                         "packet_mbits", "peak_rss_mb"};
+  static const char* const kNumbers[] = {
+      "wall_ms", "robot_rounds_per_sec", "packet_mbits", "peak_rss_mb",
+      "phase_graph_build_ms", "phase_broadcast_ms", "phase_plan_ms",
+      "phase_compute_ms", "phase_move_ms"};
   /// Per (adversary, k, threads) tuple: which soa/flat sides appeared
   /// (1 = off, 2 = on; both required below the default-corner-only scale)
   /// and the observables every engine path must agree on.
@@ -493,6 +520,8 @@ int main(int argc, char** argv) try {
       parse_threads(args.get("threads", "1,8"));
   const std::size_t reps = args.get_uint("reps", 1);
   const bool smoke = args.get_bool("smoke", false);
+  const bool mega = args.get_bool("mega", false);
+  const bool mega_smoke = args.get_bool("mega-smoke", false);
   for (const std::string& key : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
     return 2;
@@ -502,12 +531,46 @@ int main(int argc, char** argv) try {
   if (!validate_arg.empty() && validate_arg != "true")
     return validate_file(validate_arg);
 
+  if (mega_smoke) {
+    // CI canary: the k=65536 mega row alone, with hard memory ceilings.
+    // Runs before anything else so the process RSS high-water mark is its
+    // own, not an earlier row's.
+    const Row row = run(kMegaSpec, kMegaSmokeK, 1, true, true, true, reps);
+    std::printf(
+        "mega-smoke: k=%zu rounds=%llu wall=%.0fms allocs=%llu rss=%.0fMB\n",
+        row.k, static_cast<unsigned long long>(row.rounds), row.wall_ms,
+        static_cast<unsigned long long>(row.heap_allocs), row.peak_rss_mb);
+    bool pass = true;
+    if (!row.dispersed) {
+      std::printf("mega-smoke: FAIL -- run did not disperse\n");
+      pass = false;
+    }
+    if (row.heap_allocs > kMegaSmokeAllocCeiling) {
+      std::printf("mega-smoke: FAIL -- heap_allocs %llu > ceiling %llu\n",
+                  static_cast<unsigned long long>(row.heap_allocs),
+                  static_cast<unsigned long long>(kMegaSmokeAllocCeiling));
+      pass = false;
+    }
+    if (row.peak_rss_mb > kMegaSmokeRssCeilingMb) {
+      std::printf("mega-smoke: FAIL -- peak RSS %.0f MB > ceiling %.0f MB\n",
+                  row.peak_rss_mb, kMegaSmokeRssCeilingMb);
+      pass = false;
+    }
+    if (pass) std::printf("mega-smoke: OK (ceilings allocs<=%llu rss<=%.0fMB)\n",
+                          static_cast<unsigned long long>(kMegaSmokeAllocCeiling),
+                          kMegaSmokeRssCeilingMb);
+    return pass ? 0 : 1;
+  }
+
   const std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{16}
             : std::vector<std::size_t>{64, 128, 256, 512};
-  const std::vector<std::size_t> mega_sizes =
+  std::vector<std::size_t> mega_sizes =
       smoke ? std::vector<std::size_t>{4096}
-            : std::vector<std::size_t>{4096, 65536, 100000, 1000000};
+            : std::vector<std::size_t>{4096, 65536, 100000};
+  // The k=10^6 headline costs minutes and >1 GB: opt-in via --mega
+  // (scripts/repro.sh forwards DYNDISP_MEGA=1 as this flag).
+  if (mega && !smoke) mega_sizes.push_back(1000000);
 
   std::printf("== Round-time harness: engine wall-clock per robot-round ==\n");
   bool ok = true;
@@ -516,18 +579,21 @@ int main(int argc, char** argv) try {
                          const std::vector<std::size_t>& ks,
                          const std::vector<std::size_t>& threads_list) {
     AsciiTable table({"k", "threads", "cache", "soa", "flat", "rounds",
-                      "wall ms", "robot-rounds/s", "peak RSS MB", "allocs",
-                      "packet Mbits"});
+                      "wall ms", "g/b/p/c/m ms", "robot-rounds/s",
+                      "peak RSS MB", "allocs", "packet Mbits"});
     table.set_title(title);
     for (const std::size_t k : ks) {
       for (const std::size_t threads : threads_list) {
         double base_rate = 0;  // the all-on default engine's rate
         for (const auto& [cache, soa, flat] : kCorners) {
-          // The headline k=10^6 row runs the default corner only: one
-          // legacy-path run at that scale would add minutes for no new
-          // information (identity is pinned up through k=10^5).
+          // The headline k=10^6 row runs the default corner only, and a
+          // single rep: one legacy-path run (or a best-of-N retake) at that
+          // scale would add minutes for no new information (identity is
+          // pinned up through k=10^5, and the row's minutes-long wall time
+          // dwarfs scheduler jitter the reps exist to smooth out).
           if (k >= kDefaultCornerOnlyK && !(cache && soa && flat)) continue;
-          const Row row = run(spec, k, threads, cache, soa, flat, reps);
+          const std::size_t row_reps = k >= kDefaultCornerOnlyK ? 1 : reps;
+          const Row row = run(spec, k, threads, cache, soa, flat, row_reps);
           ok &= row.dispersed;
           rows.push_back(row);
           std::string rate = fmt_double(row.robot_rounds_per_sec, 0);
@@ -539,10 +605,17 @@ int main(int argc, char** argv) try {
                     fmt_double(base_rate / row.robot_rounds_per_sec, 2) +
                     " vs on)";
           }
+          // Phase attribution: graph_build/broadcast/plan/compute/move.
+          const std::string phases =
+              fmt_double(row.stats.phase_graph_build_ms, 0) + "/" +
+              fmt_double(row.stats.phase_broadcast_ms, 0) + "/" +
+              fmt_double(row.stats.phase_plan_ms, 0) + "/" +
+              fmt_double(row.stats.phase_compute_ms, 0) + "/" +
+              fmt_double(row.stats.phase_move_ms, 0);
           table.add_row({std::to_string(row.k), std::to_string(row.threads),
                          cache ? "on" : "off", soa ? "on" : "off",
                          flat ? "on" : "off", std::to_string(row.rounds),
-                         fmt_double(row.wall_ms, 1), rate,
+                         fmt_double(row.wall_ms, 1), phases, rate,
                          fmt_double(row.peak_rss_mb, 0),
                          std::to_string(row.heap_allocs),
                          fmt_double(row.packet_mbits, 2)});

@@ -27,6 +27,11 @@
 # must produce the identical record set, which is the wire-format identity
 # claim checked across processes rather than inside one.
 #
+# A sixth leg disables incremental component-forest planning
+# ("incremental": false): every round re-planned statelessly as full churn
+# must produce the identical record set -- the cross-process twin of the
+# differential-incremental fuzzer oracle.
+#
 # usage: check_determinism.sh <dyndisp_campaign> <spec.json> <work-dir>
 set -eu
 
@@ -67,6 +72,11 @@ sed '0,/{/s//{ "flat_packets": false,/' "$SPEC" > "$WORK/spec_flat_off.json"
 "$CAMPAIGN_BIN" run "$WORK/spec_flat_off.json" --seeds 2 --threads 1 --quiet \
   --no-timing --out "$WORK/e" > "$WORK/e.stdout"
 
+# And with incremental planning off ("incremental": false spliced in).
+sed '0,/{/s//{ "incremental": false,/' "$SPEC" > "$WORK/spec_inc_off.json"
+"$CAMPAIGN_BIN" run "$WORK/spec_inc_off.json" --seeds 2 --threads 1 --quiet \
+  --no-timing --out "$WORK/f" > "$WORK/f.stdout"
+
 # Two independent single-threaded processes: byte-identical, order included.
 cmp "$WORK/a/results.jsonl" "$WORK/b/results.jsonl" || {
   echo "FAIL: threads=1 runs differ byte-for-byte" >&2
@@ -97,7 +107,7 @@ cmp "$WORK/a.sorted" "$WORK/c.sorted" || {
 # "|soa=off" / "|flat=off" id suffix and the spec hash, all of which the
 # options change by design.
 normalize() {
-  sed -e 's/|soa=off//' -e 's/|flat=off//' \
+  sed -e 's/|soa=off//' -e 's/|flat=off//' -e 's/|inc=off//' \
     -e 's/"spec_hash": "[0-9a-f]*"/"spec_hash": "-"/' \
     "$1" | sort
 }
@@ -114,6 +124,12 @@ cmp "$WORK/a.norm" "$WORK/e.norm" || {
   diff "$WORK/a.norm" "$WORK/e.norm" | head -10 >&2
   exit 1
 }
+normalize "$WORK/f/results.jsonl" > "$WORK/f.norm"
+cmp "$WORK/a.norm" "$WORK/f.norm" || {
+  echo "FAIL: incremental-on and -off record sets differ" >&2
+  diff "$WORK/a.norm" "$WORK/f.norm" | head -10 >&2
+  exit 1
+}
 
 # The aggregate reports must agree too (the aggregator sorts by job index,
 # so this holds whenever the record sets do -- kept as a belt-and-braces
@@ -126,4 +142,4 @@ cmp "$WORK/report_a.txt" "$WORK/report_c.txt" || {
 }
 
 records=$(wc -l < "$WORK/a/results.jsonl")
-echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, workers 1/4 bytewise, soa on==off as sets, flat on==off as sets)"
+echo "determinism: OK ($records records, threads 1==1 bytewise, 1==4 as sets, workers 1/4 bytewise, soa on==off as sets, flat on==off as sets, incremental on==off as sets)"

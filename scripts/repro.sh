@@ -22,7 +22,13 @@ done
 
 echo "===== build/bench/bench_roundtime --json =====" | tee -a bench_output.txt
 # Best-of-5 wall times: single-rep rows at the small sizes are pure noise.
-build/bench/bench_roundtime --json --reps=5 --out=BENCH_roundtime.json 2>&1 |
+# The k=10^6 mega headline row (several minutes, >1 GB peak RSS) is opt-in:
+# run `DYNDISP_MEGA=1 scripts/repro.sh` to include it (docs/PERFORMANCE.md
+# documents the row and its targets). Default runs stop at k=10^5.
+MEGA_FLAG=""
+[ "${DYNDISP_MEGA:-0}" = "1" ] && MEGA_FLAG="--mega"
+build/bench/bench_roundtime --json --reps=5 $MEGA_FLAG \
+  --out=BENCH_roundtime.json 2>&1 |
   tee -a bench_output.txt
 build/bench/bench_roundtime --validate=BENCH_roundtime.json 2>&1 |
   tee -a bench_output.txt

@@ -51,6 +51,7 @@ std::string JobSpec::id() const {
   if (!structure_cache) out << "|sc=off";
   if (!soa) out << "|soa=off";
   if (!flat_packets) out << "|flat=off";
+  if (!incremental) out << "|inc=off";
   return out.str();
 }
 
@@ -88,6 +89,7 @@ analysis::TrialSpec make_trial_spec(const JobSpec& job) {
   options.structure_cache = job.structure_cache;
   options.soa = job.soa;
   options.flat_packets = job.flat_packets;
+  options.incremental_planning = job.incremental;
   spec.options = options;
   return spec;
 }
@@ -100,7 +102,7 @@ CampaignSpec CampaignSpec::parse_json(const std::string& text) {
   static const char* const known_keys[] = {
       "name",  "axes",      "family",     "placement",       "groups",
       "seeds", "base_seed", "max_rounds", "structure_cache", "soa",
-      "flat_packets"};
+      "flat_packets", "incremental"};
   for (const auto& [key, value] : doc.members()) {
     bool known = false;
     for (const char* k : known_keys) known |= key == k;
@@ -152,6 +154,8 @@ CampaignSpec CampaignSpec::parse_json(const std::string& text) {
   if (const JsonValue* v = doc.find("soa")) spec.soa_ = v->as_bool();
   if (const JsonValue* v = doc.find("flat_packets"))
     spec.flat_packets_ = v->as_bool();
+  if (const JsonValue* v = doc.find("incremental"))
+    spec.incremental_ = v->as_bool();
   if (spec.seeds_ == 0)
     throw std::invalid_argument("\"seeds\" must be at least 1");
 
@@ -225,6 +229,7 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                 job.structure_cache = structure_cache_;
                 job.soa = soa_;
                 job.flat_packets = flat_packets_;
+                job.incremental = incremental_;
                 jobs.push_back(std::move(job));
               }
   return jobs;

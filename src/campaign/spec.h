@@ -22,7 +22,8 @@
 //     "max_rounds": 0,                    // 0 = 100*k (dyndisp_sim default)
 //     "structure_cache": true,            // delta-aware round loop [true]
 //     "soa": true,                        // struct-of-arrays round core [true]
-//     "flat_packets": true                // flat PacketArena broadcasts [true]
+//     "flat_packets": true,               // flat PacketArena broadcasts [true]
+//     "incremental": true                 // graph-change plan routing [true]
 //   }
 //
 // Every name is validated against the campaign registry at parse time, so a
@@ -64,6 +65,9 @@ struct JobSpec {
   /// EngineOptions::flat_packets for the job (spec key "flat_packets"; the
   /// flat PacketArena broadcast backend is on by default).
   bool flat_packets = true;
+  /// EngineOptions::incremental_planning for the job (spec key
+  /// "incremental"; the graph-change-gated plan routing is on by default).
+  bool incremental = true;
 
   /// Canonical id, e.g. "alg4|random|n=20|k=12|comm=default|f=0|seed=3"
   /// (+ "|sc=off" when the structure cache is disabled). Uniquely
@@ -140,6 +144,7 @@ class CampaignSpec {
   bool structure_cache_ = true;
   bool soa_ = true;
   bool flat_packets_ = true;
+  bool incremental_ = true;
 };
 
 }  // namespace dyndisp::campaign

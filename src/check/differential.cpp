@@ -64,6 +64,17 @@ DiffReport diff_flat_packets(const TrialConfig& config,
   return compare("packets", "flat=on", arena, "flat=off", legacy);
 }
 
+DiffReport diff_incremental(const TrialConfig& config,
+                            const Toolbox& toolbox) {
+  TrialConfig on = config;
+  on.incremental = true;
+  TrialConfig off = config;
+  off.incremental = false;
+  const RunResult gated = run_plain(on, toolbox, config.threads);
+  const RunResult replan = run_plain(off, toolbox, config.threads);
+  return compare("incremental", "inc=on", gated, "inc=off", replan);
+}
+
 DiffReport diff_construction(const TrialConfig& config) {
   // Leg A: the campaign path, exactly as the scheduler drives it.
   campaign::JobSpec job;
@@ -81,6 +92,7 @@ DiffReport diff_construction(const TrialConfig& config) {
   job.structure_cache = config.structure_cache;
   job.soa = config.soa;
   job.flat_packets = config.flat_packets;
+  job.incremental = config.incremental;
   analysis::TrialSpec spec = campaign::make_trial_spec(job);
   spec.options.record_progress = true;
   const RunResult via_campaign = analysis::run_trial(spec, job.seed);
@@ -113,6 +125,7 @@ DiffReport diff_construction(const TrialConfig& config) {
   options.structure_cache = config.structure_cache;
   options.soa = config.soa;
   options.flat_packets = config.flat_packets;
+  options.incremental_planning = config.incremental;
   Engine engine(*adversary, std::move(initial), algo.factory, options,
                 std::move(schedule));
   const RunResult via_sim = engine.run();

@@ -22,6 +22,14 @@
 //                     before-copy elision) against the legacy
 //                     allocate-per-round engine. The mega-scale rebuild
 //                     claims bitwise identity; this oracle keeps it honest.
+//   * incremental  -- the graph-change-gated plan routing
+//                     (EngineOptions::incremental_planning, the default:
+//                     full-churn rounds bypass the StructureCache and
+//                     re-plan statelessly, kSame/kSmallDelta rounds use its
+//                     exact-hit/delta machinery) against the engine that
+//                     stamps every round full churn and re-plans everything.
+//                     The mega-scale incremental planning claims bitwise
+//                     identity; this oracle keeps it honest.
 //   * packets      -- the flat PacketArena broadcast backend
 //                     (EngineOptions::flat_packets, the default: CSR-style
 //                     robot pool + offset tables, refilled in place across
@@ -75,5 +83,12 @@ struct DiffReport {
 /// explicitly.
 [[nodiscard]] DiffReport diff_flat_packets(const TrialConfig& config,
                                            const Toolbox& toolbox);
+
+/// Runs `config` with incremental component-forest planning on (the
+/// graph-change-gated plan routing) and off (every round re-planned
+/// statelessly as full churn) and compares digests. The config's own
+/// incremental value is ignored: both legs are forced explicitly.
+[[nodiscard]] DiffReport diff_incremental(const TrialConfig& config,
+                                          const Toolbox& toolbox);
 
 }  // namespace dyndisp::check

@@ -42,6 +42,9 @@ TrialConfig random_trial(Rng& rng, const Toolbox& toolbox,
   // And the flat PacketArena broadcast backend: half the trials run on the
   // legacy vector<InfoPacket> path so every oracle sees both wire layouts.
   c.flat_packets = rng.below(2) == 0;
+  // And the graph-change-gated plan routing: half the trials stamp every
+  // round full churn (stateless re-plan), so the oracles cover both routes.
+  c.incremental = rng.below(2) == 0;
   return c;
 }
 
@@ -91,6 +94,14 @@ FuzzReport fuzz(const FuzzOptions& options, const Toolbox& toolbox) {
         if (!cache.ok) {
           violation = Violation{"differential-structure-cache",
                                 out.result.rounds, cache.detail};
+          from_differential = true;
+        }
+      }
+      if (!violation) {
+        const DiffReport incremental = diff_incremental(config, toolbox);
+        if (!incremental.ok) {
+          violation = Violation{"differential-incremental",
+                                out.result.rounds, incremental.detail};
           from_differential = true;
         }
       }

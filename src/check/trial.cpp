@@ -21,6 +21,7 @@ std::string TrialConfig::summary() const {
   if (!structure_cache) os << "|sc=off";
   if (!soa) os << "|soa=off";
   if (!flat_packets) os << "|flat=off";
+  if (!incremental) os << "|inc=off";
   if (!script.empty()) os << "|script=" << script.size();
   return os.str();
 }
@@ -42,6 +43,7 @@ void TrialConfig::write_json(JsonWriter& w) const {
   w.member("structure_cache", structure_cache);
   w.member("soa", soa);
   w.member("flat_packets", flat_packets);
+  w.member("incremental", incremental);
   if (!script.empty())
     w.member("script", ScriptedAdversary::serialize_script(script));
   w.end_object();
@@ -77,6 +79,8 @@ TrialConfig TrialConfig::from_json(const JsonValue& doc) {
     else if (key == "soa") c.soa = value.as_bool();
     // Absent in pre-existing repro artifacts -> the default (true).
     else if (key == "flat_packets") c.flat_packets = value.as_bool();
+    // Absent in pre-existing repro artifacts -> the default (true).
+    else if (key == "incremental") c.incremental = value.as_bool();
     else if (key == "script")
       c.script = ScriptedAdversary::parse_script(value.as_string());
     else
@@ -191,6 +195,7 @@ BuiltTrial build_trial(const TrialConfig& c, const Toolbox& tb,
   b.options.structure_cache = c.structure_cache;
   b.options.soa = c.soa;
   b.options.flat_packets = c.flat_packets;
+  b.options.incremental_planning = c.incremental;
   return b;
 }
 

@@ -56,6 +56,11 @@ struct TrialConfig {
   /// differential-packets oracle proves both values bitwise identical on
   /// every drawn trial.
   bool flat_packets = true;
+  /// EngineOptions::incremental_planning: graph-change-classified plan
+  /// routing (full-churn rounds bypass the StructureCache), on by default.
+  /// A fuzzable axis like the others -- the differential-incremental oracle
+  /// proves both values bitwise identical on every drawn trial.
+  bool incremental = true;
   std::vector<Graph> script;        ///< Non-empty: scripted replay.
 
   Round effective_max_rounds() const {

@@ -139,10 +139,12 @@ std::size_t sender_rank(const SenderIndex& index, RobotId name) {
 /// reused across the round's components -- the seed's std::set frontier,
 /// whose node allocations and pointer chasing dominated giant-component
 /// rounds at k >= 10^5, is long gone.
+/// Ranks are dense indices below k < 2^32, so 32-bit entries halve the
+/// n-proportional footprint of the two walk vectors (memory-diet audit).
 struct ComponentScratch {
   std::vector<char> visited;
-  std::vector<std::size_t> frontier;
-  std::vector<std::size_t> members;
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> members;
   std::vector<std::uint32_t> local_of;
 };
 
@@ -166,8 +168,8 @@ ComponentGraph build_component_indexed(const SenderIndex& by_sender,
   assert(scratch.frontier.empty());
   scratch.members.clear();
   scratch.visited[start] = 1;
-  scratch.frontier.push_back(start);
-  scratch.members.push_back(start);
+  scratch.frontier.push_back(static_cast<std::uint32_t>(start));
+  scratch.members.push_back(static_cast<std::uint32_t>(start));
   while (!scratch.frontier.empty()) {
     const std::size_t rank = scratch.frontier.back();
     scratch.frontier.pop_back();
@@ -177,8 +179,8 @@ ComponentGraph build_component_indexed(const SenderIndex& by_sender,
           sender_rank(by_sender, pkt.neighbor(i).min_robot());
       if (r == kNoRank || scratch.visited[r]) continue;
       scratch.visited[r] = 1;
-      scratch.frontier.push_back(r);
-      scratch.members.push_back(r);
+      scratch.frontier.push_back(static_cast<std::uint32_t>(r));
+      scratch.members.push_back(static_cast<std::uint32_t>(r));
     }
   }
 
@@ -238,6 +240,23 @@ ComponentGraph build_component_indexed(const SenderIndex& by_sender,
 ComponentGraph build_component(const PacketSet& packets, RobotId start_name) {
   ComponentScratch scratch;
   return build_component_indexed(index_by_sender(packets), start_name, scratch);
+}
+
+struct ComponentBuilder::Impl {
+  SenderIndex index;
+  ComponentScratch scratch;
+};
+
+ComponentBuilder::ComponentBuilder(const PacketSet& packets)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->index = index_by_sender(packets);
+  impl_->scratch.visited.assign(impl_->index.size(), 0);
+}
+
+ComponentBuilder::~ComponentBuilder() = default;
+
+ComponentGraph ComponentBuilder::component_at(RobotId start_name) {
+  return build_component_indexed(impl_->index, start_name, impl_->scratch);
 }
 
 std::vector<ComponentGraph> build_components_split(

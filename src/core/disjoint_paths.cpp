@@ -36,13 +36,19 @@ std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
   if (st.size() == 0) return kept;
   const std::vector<TreeNode>& tn = st.nodes();  // ascending by name
 
-  // Non-root nodes already claimed by a path, flagged by dense tree index.
-  // A candidate's path is rejected the moment the upward walk from its leaf
-  // meets a claimed node, so a rejection costs the distance to the claimed
-  // forest, not the full depth -- the seed's root_path-per-leaf scheme made
-  // one round's planning O(leaves * depth), quadratic on the giant
-  // component of a random placement.
-  std::vector<char> used(tn.size(), 0);
+  // Per-node walk state, by dense tree index. kClaimed marks non-root nodes
+  // on a kept path. kOverlaps memoizes rejection: every node walked during a
+  // rejected candidate's upward walk has a claimed ancestor (root paths are
+  // unique in a tree, so any later candidate walking through it overlaps
+  // too, against a claimed set that only grows). Without the memo a
+  // rejection costs the distance to the claimed forest -- which on the deep
+  // DFS trees of giant random components is O(depth) per leaf, quadratic
+  // over the round (the k=10^5 profile put a quarter of the whole run
+  // here). With it every node is walked at most once, so one call is
+  // O(component + kept path lengths).
+  enum : char { kUnwalked = 0, kClaimed = 1, kOverlaps = 2 };
+  std::vector<char> state(tn.size(), kUnwalked);
+  std::vector<std::size_t> walked;  // rejected-walk scratch, reused
 
   // LeafNodeSet membership comes from the component node's degree; cg and
   // the tree hold the same name set ascending, so a lockstep cursor
@@ -56,14 +62,20 @@ std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
     if (!cn[c].has_empty_neighbor()) continue;  // not in LeafNodeSet
 
     bool overlaps = false;
+    walked.clear();
     for (std::size_t j = i; tn[j].parent != kNoRobot;
          j = st.parent_index(j)) {
-      if (used[j] != 0) {
+      if (state[j] != kUnwalked) {
         overlaps = true;
         break;
       }
+      walked.push_back(j);
     }
-    if (overlaps) continue;
+    if (overlaps) {
+      // Everything walked sits below a claimed node; memoize the verdict.
+      for (const std::size_t j : walked) state[j] = kOverlaps;
+      continue;
+    }
 
     // Keep: materialize the path root-first and claim its non-root nodes.
     RootPath path(tn[i].depth + 1);
@@ -71,7 +83,7 @@ std::vector<RootPath> disjoint_paths(const ComponentGraph& cg,
     for (std::size_t d = tn[i].depth + 1; d-- > 0;) {
       path[d] = tn[j].name;
       if (tn[j].parent != kNoRobot) {
-        used[j] = 1;
+        state[j] = kClaimed;
         j = st.parent_index(j);
       }
     }

@@ -1,12 +1,29 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "core/structure_cache.h"
 #include "util/contract.h"
+#include "util/phase_clock.h"
 
 namespace dyndisp::core {
+
+namespace {
+/// See planner_time_ns(): process-wide planning wall-time, observability
+/// only, relaxed ordering (readers only ever diff snapshots they took on
+/// the same thread as the runs they bracket).
+std::atomic<std::uint64_t> g_planner_time_ns{0};
+}  // namespace
+
+std::uint64_t planner_time_ns() {
+  return g_planner_time_ns.load(std::memory_order_relaxed);
+}
+
+void add_planner_time_ns(std::uint64_t ns) {
+  g_planner_time_ns.fetch_add(ns, std::memory_order_relaxed);
+}
 
 bool SlidePlan::operator==(const SlidePlan& other) const {
   return movers == other.movers;
@@ -130,13 +147,25 @@ const SlidePlan& PlanCache::get_locked(const PacketSet& packets,
     key_.reset();
   }
   config_ = config;
-  if (structure_ && hints != nullptr && hints->valid && packets.owned()) {
+  // Planner-time attribution: the derivation below is the round's actual
+  // planning work (everything else in this function is cache bookkeeping).
+  const std::uint64_t plan_t0 = phase_clock_ns();
+  // Full-churn rounds (the hint-carrying engine loop observed G_r sharing
+  // essentially nothing with G_{r-1}) route straight to plan_round: the
+  // StructureCache could only miss, and storing the round into it would
+  // retain an owning copy of the broadcast storage -- pinning arenas the
+  // round context wants to recycle. StructureCache::full_build IS
+  // plan_round's computation, so the direct call is bitwise identical
+  // (the incremental-planning differential leg pins it).
+  if (structure_ && hints != nullptr && hints->valid && packets.owned() &&
+      hints->change != GraphChange::kFullChurn) {
     value_ = structure_->plan(packets, *hints, config);
   } else {
     // NOLINTNEXTLINE-dyndisp(hotpath-alloc): cache-miss slow path; the
     // steady-state round takes the structure_->plan branch above.
     value_ = std::make_shared<const SlidePlan>(plan_round(packets, config));
   }
+  add_planner_time_ns(phase_clock_ns() - plan_t0);
   valid_ = true;
   return *value_;
 }

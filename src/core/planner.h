@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <iterator>
 #include <memory>
 #include <mutex>
@@ -189,6 +190,18 @@ inline SlidePlan plan_round(const std::vector<InfoPacket>& packets,
                             const PlannerConfig& config = {}) {
   return plan_round(PacketSet::borrow(packets), config);
 }
+
+/// Process-wide planner wall-time accumulator, in nanoseconds: every
+/// PlanCache miss (plan_round or the StructureCache path) adds the time it
+/// spent deriving a plan. Observability only -- the engine snapshots deltas
+/// around its compute phase to split the compute bucket into "planning" vs
+/// "robot steps" (RoundLoopStats::phase_plan_ms), and nothing else reads
+/// it. Monotone; exact when one run executes at a time, advisory under
+/// concurrent runs (same contract as StructureCache::global_stats()).
+std::uint64_t planner_time_ns();
+
+/// Adds `ns` to the accumulator (PlanCache's miss path; relaxed atomic).
+void add_planner_time_ns(std::uint64_t ns);
 
 /// Single-slot memo of plan_round keyed by the exact packet set. All robots
 /// of a run may share one cache; correctness is unchanged because

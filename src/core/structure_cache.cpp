@@ -35,11 +35,10 @@ StructureCache::StructureCache(std::size_t capacity)
 
 DYNDISP_COLD
 StructureCache::CachedComponent StructureCache::build_one(
-    const PacketSet& packets, RobotId seed, const PlannerConfig& config,
+    ComponentBuilder& builder, RobotId seed, const PlannerConfig& config,
     std::vector<bool>& assigned) {
   CachedComponent cc;
-  cc.graph = std::make_shared<const ComponentGraph>(
-      build_component(packets, seed));
+  cc.graph = std::make_shared<const ComponentGraph>(builder.component_at(seed));
   for (const ComponentNode& cn : cc.graph->nodes()) {
     assert(cn.name < assigned.size());
     assigned[cn.name] = true;
@@ -110,6 +109,11 @@ bool StructureCache::try_delta(const Entry& prev, const PacketSet& packets,
   out.trivial.clear();
   std::uint64_t rebuilt = 0, reused = 0;
 
+  // One sender index for every component this round rebuilds (constructed
+  // only after the dirty walk committed to the delta path, so aborted
+  // rounds never pay for it).
+  ComponentBuilder builder(packets);
+
   // Single-robot senders whose packets list no occupied neighbor always form
   // a one-node, edge-free, plan-free component (see build_components_split);
   // record the name instead of running Algorithm 1 on them.
@@ -127,7 +131,7 @@ bool StructureCache::try_delta(const Entry& prev, const PacketSet& packets,
       ++rebuilt;
       continue;
     }
-    out.components.push_back(build_one(packets, seed, config, assigned));
+    out.components.push_back(build_one(builder, seed, config, assigned));
     ++rebuilt;
   }
   // 2. Reuse previous components whose members are all present, unchanged,
@@ -166,7 +170,7 @@ bool StructureCache::try_delta(const Entry& prev, const PacketSet& packets,
       continue;
     }
     out.components.push_back(
-        build_one(packets, pkt.sender(), config, assigned));
+        build_one(builder, pkt.sender(), config, assigned));
     ++rebuilt;
   }
 

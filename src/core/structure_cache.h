@@ -115,8 +115,11 @@ class StructureCache {
   };
 
   /// Builds one component (plus tree and movers when it has multiplicity)
-  /// from `packets` starting at `seed`, marking every member in `assigned`.
-  static CachedComponent build_one(const PacketSet& packets, RobotId seed,
+  /// through the round's shared builder starting at `seed`, marking every
+  /// member in `assigned`. The builder indexes the packet set once per
+  /// delta round; seeds are guaranteed distinct-component by the `assigned`
+  /// checks at every call site.
+  static CachedComponent build_one(ComponentBuilder& builder, RobotId seed,
                                    const PlannerConfig& config,
                                    std::vector<bool>& assigned);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/algorithms.h"
+#include "graph/builders.h"
 
 namespace dyndisp {
 
@@ -11,18 +12,22 @@ ChurnAdversary::ChurnAdversary(Graph initial, std::size_t churn,
                                std::uint64_t seed, bool reshuffle_ports)
     : graph_(std::move(initial)),
       churn_(churn),
+      seed_(seed),
       rng_(seed),
       reshuffle_ports_(reshuffle_ports) {
   assert(is_connected(graph_));
 }
 
-Graph ChurnAdversary::next_graph(Round, const Configuration&) {
+void ChurnAdversary::mutate() {
   const std::size_t n = graph_.node_count();
   std::size_t removed = 0;
   // Remove up to churn_ edges, keeping connectivity (retry a few times per
-  // removal; bridges are skipped).
+  // removal; bridges are skipped). The edge list is re-materialized per
+  // removal (edges shift as the graph changes) but into recycled storage --
+  // the draw sequence is identical to a fresh edges() call.
   for (std::size_t i = 0; i < churn_; ++i) {
-    const auto edges = graph_.edges();
+    graph_.edges_into(edges_scratch_);
+    const auto& edges = edges_scratch_;
     if (edges.empty()) break;
     bool done = false;
     for (std::size_t attempt = 0; attempt < 8 && !done; ++attempt) {
@@ -46,8 +51,24 @@ Graph ChurnAdversary::next_graph(Round, const Configuration&) {
     graph_.add_edge(u, v);
     ++added;
   }
-  if (reshuffle_ports_) graph_.shuffle_ports(rng_);
-  return graph_;
+  if (reshuffle_ports_) {
+    if (n >= builders::kCounterBuilderMinNodes)
+      graph_.shuffle_ports_counter(seed_, emissions_, pool_);
+    else
+      graph_.shuffle_ports(rng_);
+  }
+  ++emissions_;
+}
+
+Graph ChurnAdversary::next_graph(Round r, const Configuration& conf) {
+  Graph g;
+  next_graph_into(r, conf, g);
+  return g;
+}
+
+void ChurnAdversary::next_graph_into(Round, const Configuration&, Graph& out) {
+  mutate();
+  out = graph_;
 }
 
 }  // namespace dyndisp

@@ -17,6 +17,8 @@
 
 namespace dyndisp {
 
+class ThreadPool;  // util/parallel.h
+
 /// Planned exit ports for all robots on a candidate graph: entry id-1 holds
 /// the port robot id would take (kInvalidPort = stay put / dead).
 using MovePlan = std::vector<Port>;
@@ -41,6 +43,26 @@ class Adversary {
 
   /// Emits G_r given the configuration at the start of round r.
   virtual Graph next_graph(Round r, const Configuration& conf) = 0;
+
+  /// next_graph into caller-owned storage: must leave `out` exactly equal
+  /// to what next_graph(r, conf) would have returned (same RNG stream
+  /// advancement included). The engine double-buffers graphs and hands the
+  /// round-before-last's Graph back in, so regenerating adversaries can
+  /// refill its adjacency rows in place instead of allocating n fresh rows
+  /// per round. The default simply assigns the fresh value -- copy-assign
+  /// into a warm vector-of-vectors already recycles row capacity.
+  virtual void next_graph_into(Round r, const Configuration& conf,
+                               Graph& out) {
+    out = next_graph(r, conf);
+  }
+
+  /// Installs the engine's compute pool for parallel graph construction
+  /// (null = build serially). Adversaries that use the pool MUST emit
+  /// byte-identical graphs at any thread count -- counter-based RNG
+  /// streams, never lane-ordered draws; the adversary conformance suite
+  /// pins exactly that for every registered adversary. The default ignores
+  /// the pool (sequential builders are trivially thread-count-invariant).
+  virtual void set_thread_pool(ThreadPool* pool) { (void)pool; }
 
   /// Reuse hint, queried by the engine BEFORE next_graph(r, conf): true
   /// promises that next_graph(r, conf) would return a graph operator==-equal

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "dynamic/dynamic_graph.h"
+#include "graph/builders.h"
 #include "util/rng.h"
 
 namespace dyndisp {
@@ -19,10 +20,23 @@ class RandomAdversary final : public Adversary {
   std::size_t node_count() const override { return n_; }
   Graph next_graph(Round r, const Configuration& conf) override;
 
+  /// Large n (>= builders::kCounterBuilderMinNodes) regenerates through the
+  /// counter-based flat builder: per-emission (seed, emission#) streams,
+  /// recycled scratch and rows, and optional parallel_for fan-out -- same
+  /// distribution as the legacy path, byte-identical at any thread count.
+  /// Small n keeps the legacy sequential Rng draws the golden digests pin.
+  void next_graph_into(Round r, const Configuration& conf,
+                       Graph& out) override;
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
+
  private:
   std::size_t n_;
   std::size_t extra_edges_;
-  Rng rng_;
+  std::uint64_t seed_;
+  Rng rng_;                  ///< Legacy sequential stream (small n only).
+  std::uint64_t emissions_ = 0;  ///< Counter-path draw index (large n only).
+  ThreadPool* pool_ = nullptr;
+  builders::CounterBuildScratch scratch_;
 };
 
 }  // namespace dyndisp

@@ -28,10 +28,23 @@ class StaticAdversary final : public Adversary {
     return has_emitted_ && !reshuffle_ports_;
   }
 
+  /// Copy-assigns the (possibly reshuffled) fixed graph into recycled
+  /// storage; the reshuffle variant goes through counter port streams at
+  /// n >= builders::kCounterBuilderMinNodes.
+  void next_graph_into(Round r, const Configuration& conf,
+                       Graph& out) override;
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
+
  private:
+  /// Applies the per-round port relabeling (reshuffle variant only).
+  void refresh();
+
   Graph graph_;
   bool reshuffle_ports_;
+  std::uint64_t seed_;
   Rng rng_;
+  std::uint64_t emissions_ = 0;  ///< Counter-shuffle draw index (large n).
+  ThreadPool* pool_ = nullptr;
   bool has_emitted_ = false;
 };
 

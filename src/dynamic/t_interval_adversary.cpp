@@ -21,10 +21,19 @@ std::string TIntervalAdversary::name() const {
 
 Graph TIntervalAdversary::next_graph(Round r, const Configuration& conf) {
   if (!have_current_ || r % t_ == 0) {
-    current_ = inner_->next_graph(r, conf);
+    inner_->next_graph_into(r, conf, current_);
     have_current_ = true;
   }
   return current_;
+}
+
+void TIntervalAdversary::next_graph_into(Round r, const Configuration& conf,
+                                         Graph& out) {
+  if (!have_current_ || r % t_ == 0) {
+    inner_->next_graph_into(r, conf, current_);
+    have_current_ = true;
+  }
+  out = current_;
 }
 
 }  // namespace dyndisp

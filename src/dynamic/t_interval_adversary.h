@@ -36,6 +36,15 @@ class TIntervalAdversary final : public Adversary {
     inner_->set_plan_probe(std::move(probe));
   }
 
+  /// Window starts regenerate through the inner adversary's in-place path
+  /// (its storage recycling and parallelism carry through); replay rounds
+  /// copy-assign the cached window graph into the recycled rows.
+  void next_graph_into(Round r, const Configuration& conf,
+                       Graph& out) override;
+  void set_thread_pool(ThreadPool* pool) override {
+    inner_->set_thread_pool(pool);
+  }
+
  private:
   std::unique_ptr<Adversary> inner_;
   std::size_t t_;

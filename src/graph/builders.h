@@ -10,6 +10,10 @@
 #include "graph/graph.h"
 #include "util/rng.h"
 
+namespace dyndisp {
+class ThreadPool;  // util/parallel.h
+}
+
 namespace dyndisp::builders {
 
 /// Path 0-1-2-...-(n-1). Requires n >= 1.
@@ -52,5 +56,42 @@ Graph random_connected(std::size_t n, std::size_t extra_edges, Rng& rng);
 /// Connected Erdos-Renyi-style graph: each non-tree pair kept with
 /// probability p on top of a random spanning tree.
 Graph random_connected_p(std::size_t n, double p, Rng& rng);
+
+/// Reusable storage for random_connected_counter: one instance per adversary,
+/// refilled in place every round so steady-state graph generation allocates
+/// nothing (the k=10^6 row regenerates a million-node graph every round; the
+/// fresh-vector churn of the sequential builder dominated its graph phase).
+struct CounterBuildScratch {
+  std::vector<std::uint32_t> prufer;
+  std::vector<std::uint32_t> deg;      ///< Final degree per node.
+  std::vector<std::uint32_t> eu, ev;   ///< Edge endpoints (tree then chords).
+  std::vector<Port> pu, pv;            ///< Final port per edge side.
+  std::vector<std::uint32_t> offsets;  ///< CSR incidence offsets (n + 1).
+  std::vector<std::uint32_t> cursor;   ///< CSR fill cursors.
+  std::vector<std::uint32_t> inc;      ///< CSR incident edge ids (2m).
+  std::vector<Port> slot_port;         ///< Shuffled port per incidence slot.
+  std::vector<std::uint64_t> table;    ///< Open-addressing edge membership.
+};
+
+/// Node-count floor for the counter-based builder in the regenerating
+/// adversaries: below it they keep the legacy sequential Rng path (whose
+/// exact draw sequences the golden small-n digests pin), above it they
+/// switch to counter streams. Chosen under kParallelForSerialCutoff so
+/// conformance sizes can straddle BOTH thresholds.
+inline constexpr std::size_t kCounterBuilderMinNodes = 128;
+
+/// Connected random graph with shuffled ports from counter-based RNG
+/// streams: a uniform random tree (parallel Prüfer fill, linear smallest-
+/// leaf decode) plus `extra_edges` distinct chords, with every node's port
+/// labels independently Fisher-Yates-permuted -- the counter-stream
+/// equivalent of random_connected + Graph::shuffle_ports, distribution-wise
+/// (the draw sequences differ, so the sampled graph differs for a given
+/// seed). (seed, draw) keys the graph: the same pair always yields the same
+/// bytes, at any thread count of `pool` (or pool == nullptr), which is the
+/// identity the adversary conformance suite pins. Requires n >= 3.
+void random_connected_counter(std::size_t n, std::size_t extra_edges,
+                              std::uint64_t seed, std::uint64_t draw,
+                              ThreadPool* pool, CounterBuildScratch& scratch,
+                              Graph& out);
 
 }  // namespace dyndisp::builders

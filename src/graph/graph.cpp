@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/contract.h"
+#include "util/parallel.h"
+
 namespace dyndisp {
 
 Graph Graph::from_edges(std::size_t n,
@@ -194,19 +197,88 @@ void Graph::shuffle_ports(Rng& rng) {
   }
 }
 
+DYNDISP_HOT
+void Graph::shuffle_ports_counter(std::uint64_t seed, std::uint64_t draw,
+                                  ThreadPool* pool) {
+  const std::size_t n = adj_.size();
+  const CounterRng streams(seed, draw);
+  std::vector<std::size_t> off(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) off[v + 1] = off[v] + adj_[v].size();
+  // new_port[off[v] + i] is the new 1-based port of the half-edge currently
+  // at 0-based slot i of v: each node permutes its own CSR segment from its
+  // forked stream, so the pass is lane-safe and order-independent.
+  std::vector<Port> new_port(off[n]);
+  parallel_for(pool, n, [&](std::size_t v) {
+    Port* seg = new_port.data() + off[v];
+    const std::size_t d = adj_[v].size();
+    for (std::size_t i = 0; i < d; ++i) seg[i] = static_cast<Port>(i + 1);
+    const CounterRng node = streams.fork(v);
+    for (std::size_t j = d; j > 1; --j)
+      std::swap(seg[j - 1], seg[node.below(j, j)]);
+  });
+  // Relabeled rows are staged into a flat scratch first: the rebuild reads
+  // OTHER nodes' old slots (for reverse ports), so writing adj_ in place
+  // would race across lanes. The copy-back pass then owns each row.
+  std::vector<HalfEdge> rebuilt(off[n]);
+  parallel_for(pool, n, [&](std::size_t v) {
+    const std::size_t base = off[v];
+    for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+      const HalfEdge& he = adj_[v][i];
+      const Port np = new_port[base + i];
+      const Port nrev = new_port[off[he.to] + he.reverse_port - 1];
+      rebuilt[base + np - 1] = HalfEdge{he.to, nrev};
+    }
+  });
+  parallel_for(pool, n, [&](std::size_t v) {
+    std::copy(rebuilt.begin() + static_cast<std::ptrdiff_t>(off[v]),
+              rebuilt.begin() + static_cast<std::ptrdiff_t>(off[v + 1]),
+              adj_[v].begin());
+  });
+  // Every port changed; rebuild the edge fingerprint in one sweep.
+  std::uint64_t fp = 0;
+  for (NodeId v = 0; v < n; ++v)
+    for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+      const HalfEdge& he = adj_[v][i];
+      if (v < he.to)
+        fp ^= fp_edge_term(v, he.to, static_cast<Port>(i + 1),
+                           he.reverse_port);
+    }
+  fp_edges_ = fp;
+}
+
 std::vector<Graph::Edge> Graph::edges() const {
   std::vector<Edge> result;
-  result.reserve(edge_count_);
+  edges_into(result);
+  return result;
+}
+
+void Graph::edges_into(std::vector<Edge>& out) const {
+  out.clear();
+  out.reserve(edge_count_);
   for (NodeId u = 0; u < adj_.size(); ++u) {
     for (std::size_t i = 0; i < adj_[u].size(); ++i) {
       const HalfEdge& he = adj_[u][i];
       if (u < he.to) {
-        result.push_back(Edge{u, he.to, static_cast<Port>(i + 1),
-                              he.reverse_port});
+        out.push_back(Edge{u, he.to, static_cast<Port>(i + 1),
+                           he.reverse_port});
       }
     }
   }
-  return result;
+}
+
+void Graph::reset_assembly(std::size_t n) {
+  // clear() per row (not adj_.assign) keeps each row's heap block for the
+  // refill; shrinking drops surplus rows' storage only when n shrinks.
+  adj_.resize(n);
+  for (auto& row : adj_) row.clear();
+  edge_count_ = 0;
+  fp_edges_ = 0;
+}
+
+void Graph::commit_assembly(std::size_t edge_count, std::uint64_t fp_edges) {
+  edge_count_ = edge_count;
+  fp_edges_ = fp_edges;
+  assert(validate().empty() && "bulk assembly produced an invalid graph");
 }
 
 Graph::Delta Graph::delta(const Graph& prev) const {

@@ -20,6 +20,8 @@
 
 namespace dyndisp {
 
+class ThreadPool;  // util/parallel.h
+
 /// One endpoint's view of an incident edge.
 struct HalfEdge {
   NodeId to = kInvalidNode;     ///< The neighbor this port leads to.
@@ -107,6 +109,15 @@ class Graph {
   /// freedom to choose arbitrary port numberings each round.
   void shuffle_ports(Rng& rng);
 
+  /// Counter-stream sibling of shuffle_ports: every node's ports are
+  /// independently Fisher-Yates-permuted from the per-node fork of the
+  /// (seed, draw) stream, fanned over `pool` (null runs serially). Equal to
+  /// shuffle_ports in distribution, not in draws -- and byte-identical at
+  /// any thread count for a fixed (seed, draw), which is what lets the
+  /// port-relabeling adversaries go parallel without losing determinism.
+  void shuffle_ports_counter(std::uint64_t seed, std::uint64_t draw,
+                             ThreadPool* pool);
+
   /// Applies an explicit port permutation at node `v`: `perm[i]` is the new
   /// 0-based position of the half-edge currently at 0-based position i.
   /// `perm` must be a permutation of [0, degree(v)).
@@ -129,6 +140,28 @@ class Graph {
     bool operator==(const Edge&) const = default;
   };
   std::vector<Edge> edges() const;
+
+  /// edges() into caller-owned storage (cleared first) so per-round callers
+  /// (the churn adversary re-draws from the edge list every round) reuse the
+  /// vector's capacity instead of reallocating it.
+  void edges_into(std::vector<Edge>& out) const;
+
+  /// -- Bulk assembly (trusted deterministic builders only) ----------------
+  ///
+  /// The flat counter-based builders assemble every adjacency row and the
+  /// edge fingerprint themselves (possibly across threads), then commit the
+  /// aggregate counters in one step -- the incremental bookkeeping of
+  /// add_edge would serialize them. reset_assembly() sizes the graph to `n`
+  /// nodes and clears every row WITHOUT releasing row capacity, so a
+  /// regenerating adversary that recycles one Graph re-fills rows in place.
+  /// Writers fill rows via assembly_row() (row[p-1] = {neighbor, reverse
+  /// port}); commit_assembly() then installs the caller-computed edge count
+  /// and XOR-of-fp_edge_term fingerprint. Debug builds re-validate the
+  /// invariants; release builds trust the builder (the conformance suite
+  /// pins builder output against the incremental path).
+  void reset_assembly(std::size_t n);
+  std::vector<HalfEdge>& assembly_row(NodeId v) { return adj_[v]; }
+  void commit_assembly(std::size_t edge_count, std::uint64_t fp_edges);
 
   /// Deterministic 64-bit structural fingerprint of the port-labeled edge
   /// set plus the node count (see graph/fingerprint.h). Maintained

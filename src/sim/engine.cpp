@@ -7,10 +7,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/planner.h"
 #include "core/structure_cache.h"
 #include "dynamic/validator.h"
 #include "util/memprobe.h"
 #include "util/parallel.h"
+#include "util/phase_clock.h"
 
 namespace dyndisp {
 
@@ -44,6 +46,9 @@ Engine::Engine(Adversary& adversary, Configuration initial,
       needs_.merge(robots_[i]->view_needs());
   }
   if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  // Adversaries with counter-stream builders fan graph construction over
+  // the compute pool (byte-identical at any lane count; null = serial).
+  adversary_.set_thread_pool(pool_.get());
   if (!options_.allow_model_mismatch && !robots_.empty()) {
     const RobotAlgorithm& proto = *robots_.front();
     if (proto.requires_global_comm() && options_.comm != CommModel::kGlobal) {
@@ -191,8 +196,13 @@ MovePlan Engine::probe_plan(const Graph& candidate) const {
 
 MovePlan& Engine::compute_plan(const Graph& g, Round round,
                                const RoundContext& ctx) {
+  // The real round carries the graph-change classification the loop just
+  // derived; probe_plan's hints stay kUnknown (candidates have no
+  // cross-round relation).
+  ReuseHints hints = make_hints(g);
+  hints.change = round_change_;
   plan_on(g, conf_, round, options_, arrival_ports_, active_, raw_robots_,
-          ctx, ctx.packets(), make_hints(g), pool_.get(),
+          ctx, ctx.packets(), hints, pool_.get(),
           options_.soa ? &views_arena_ : nullptr, needs_, plan_buf_);
   return plan_buf_;
 }
@@ -311,6 +321,11 @@ RunResult Engine::run() {
           [this](const Graph& g) { return probe_plan(g); });
     }
 
+    // Phase buckets (observability only; see RoundLoopStats). ph_* are
+    // boundary timestamps: graph_build = [t0,t1), broadcast = [t1,t2),
+    // compute phase = [t2,t3) split into plan (planner accumulator delta)
+    // and the remainder, move = [t3,t4).
+    const std::uint64_t ph_t0 = phase_clock_ns();
     const bool sc = options_.structure_cache;
     bool same_graph = false;   // G_r provably operator== G_{r-1}
     bool small_delta = false;  // G_r near G_{r-1}; graph_delta_ holds the diff
@@ -321,7 +336,11 @@ RunResult Engine::run() {
       same_graph = true;
       ++res.stats.graph_reuses;
     } else {
-      Graph g = adversary_.next_graph(r, conf_);
+      // Double-buffered emission: the adversary refills the round-before-
+      // last's Graph in place (next_graph_into recycles its rows), and a
+      // swap promotes it -- no per-round Graph allocation in steady state.
+      adversary_.next_graph_into(r, conf_, scratch_graph_);
+      const Graph& g = scratch_graph_;
       if (sc && have_graph_) {
         if (g.fingerprint() == graph_.fingerprint() && g == graph_) {
           same_graph = true;
@@ -334,11 +353,18 @@ RunResult Engine::run() {
                                              conf_.node_count() / 4);
         }
       }
-      graph_ = std::move(g);
+      std::swap(graph_, scratch_graph_);
       have_graph_ = true;
       if (!same_graph) graph_validated_ = false;
     }
     if (same_graph) ++res.stats.same_graph_rounds;
+    // incremental_planning=false is the differential lever: every round
+    // reads as full churn, so the plan layer re-plans statelessly each
+    // round (the full-re-plan leg the incremental oracle diffs against).
+    round_change_ = !options_.incremental_planning ? GraphChange::kFullChurn
+                    : same_graph                   ? GraphChange::kSame
+                    : small_delta                  ? GraphChange::kSmallDelta
+                                                   : GraphChange::kFullChurn;
 
     if (options_.validate_graphs) {
       const std::uint64_t fp = graph_.fingerprint();
@@ -359,6 +385,8 @@ RunResult Engine::run() {
         validated_fp_ = fp;
       }
     }
+    const std::uint64_t ph_t1 = phase_clock_ns();
+    res.stats.phase_graph_build_ms += phase_ns_to_ms(ph_t1 - ph_t0);
 
     if (options_.comm == CommModel::kGlobal) {
       const bool can_source = sc && options_.byzantine == nullptr &&
@@ -406,7 +434,23 @@ RunResult Engine::run() {
       }
     }
 
+    const std::uint64_t ph_t2 = phase_clock_ns();
+    res.stats.phase_broadcast_ms += phase_ns_to_ms(ph_t2 - ph_t1);
+
+    const std::uint64_t plan_ns_before = core::planner_time_ns();
     MovePlan& plan = compute_plan(graph_, r, ctx_);
+    const std::uint64_t ph_t3 = phase_clock_ns();
+    // The compute phase's planner share: exactly one robot pays the
+    // PlanCache miss and derives the round's plan; the accumulator delta is
+    // that derivation's wall time. The remainder is view assembly plus the
+    // robots' own steps (clamped: with threads > 1 the per-lane planner
+    // time can exceed the phase's elapsed wall time).
+    const double plan_ms =
+        phase_ns_to_ms(core::planner_time_ns() - plan_ns_before);
+    const double compute_wall_ms = phase_ns_to_ms(ph_t3 - ph_t2);
+    res.stats.phase_plan_ms += plan_ms;
+    res.stats.phase_compute_ms +=
+        compute_wall_ms > plan_ms ? compute_wall_ms - plan_ms : 0.0;
     round_ctx_ = nullptr;
     if (options_.soa) {
       for (std::size_t i = 0; i < active_.size(); ++i)
@@ -455,6 +499,7 @@ RunResult Engine::run() {
       if (active_[id - 1]) refresh_state(id);
       meter_.record_bits(state_bits_[id - 1]);
     }
+    res.stats.phase_move_ms += phase_ns_to_ms(phase_clock_ns() - ph_t3);
 
     std::size_t newly = 0;
     const std::vector<std::uint64_t>& occ_words = conf_.occupied_words();

@@ -140,6 +140,19 @@ struct EngineOptions {
   /// disabling reproduces the per-round-allocating layout, which is what
   /// --no-flat-packets exposes for differential proofs.
   bool flat_packets = true;
+  /// Incremental component-forest planning (docs/PERFORMANCE.md): the round
+  /// loop stamps every round's ReuseHints with the observed graph-change
+  /// class (GraphChange), and the plan layer routes full-churn rounds
+  /// straight to the stateless planner instead of consulting -- and
+  /// retaining a round's packet storage into -- the StructureCache, which
+  /// could only ever miss on such rounds. kSame/kSmallDelta rounds keep the
+  /// cache's exact-hit and sender-wise delta machinery. Plans are bitwise
+  /// identical either way (StructureCache::full_build IS the stateless
+  /// planner's computation; the incremental differential leg proves it);
+  /// disabling stamps every round kFullChurn, reproducing the re-plan-
+  /// everything engine for differential proofs. No effect when
+  /// structure_cache is off (hints are invalid then).
+  bool incremental_planning = true;
   /// Record a full per-round trace (heavy).
   bool record_trace = false;
   /// Record per-round heap-allocation counts into
@@ -217,6 +230,20 @@ struct DYNDISP_STATS RoundLoopStats {
   std::uint64_t sc_components_reused = 0;
   std::uint64_t sc_components_rebuilt = 0;
   std::uint64_t sc_evictions = 0;
+  /// Per-phase wall-time buckets, milliseconds summed over every executed
+  /// round (util/phase_clock.h; observability only, digest-excluded like
+  /// everything here). graph_build covers the adversary's next_graph plus
+  /// round-graph validation; broadcast covers packet assembly/reuse/delta;
+  /// plan is the planner-side share of the compute phase (PlanCache miss
+  /// work: Algorithm 1-3 structures + Algorithm 4 plan derivation,
+  /// process-wide accumulator deltas); compute is the compute phase's
+  /// remainder (view assembly + robot steps); move covers the Move phase
+  /// and end-of-round state refresh/metering.
+  double phase_graph_build_ms = 0;
+  double phase_broadcast_ms = 0;
+  double phase_plan_ms = 0;
+  double phase_compute_ms = 0;
+  double phase_move_ms = 0;
 };
 
 struct RunResult {
@@ -318,9 +345,17 @@ class Engine {
   /// already passed validate_round_graph.
   RoundContext ctx_;
   Graph graph_;
+  /// Double buffer for adversary emission: next_graph_into fills this (the
+  /// round-before-last's graph, whose row capacities regenerating
+  /// adversaries recycle) and a swap promotes it to graph_.
+  Graph scratch_graph_;
   bool have_graph_ = false;
   bool graph_validated_ = false;
   std::uint64_t validated_fp_ = 0;
+  /// This round's graph-vs-last-round classification, stamped into the
+  /// REAL round's hints (probes stay kUnknown: a candidate graph has no
+  /// cross-round relation).
+  GraphChange round_change_ = GraphChange::kUnknown;
   Graph::Delta graph_delta_;         ///< Scratch: G_r vs G_{r-1}.
   std::vector<NodeId> dirty_nodes_;  ///< Scratch: delta-assembly dirty set.
   MovePlan plan_buf_;                ///< Retained compute-phase plan buffer.

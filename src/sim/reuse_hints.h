@@ -20,6 +20,23 @@
 
 namespace dyndisp {
 
+/// Engine-observed relation between this round's graph and the previous
+/// round's, riding with the hints so plan-layer consumers can pick their
+/// strategy without re-deriving it. kSame and kSmallDelta are the regimes
+/// where the StructureCache's exact-hit/delta machinery pays off;
+/// kFullChurn rounds (the random adversaries rewire everything every round)
+/// can never reuse cross-round structures, so consulting -- and, worse,
+/// RETAINING into -- the cache only pins a dead copy of the round's packet
+/// storage. kUnknown (plan probes, hint-less callers) keeps the legacy
+/// always-consult behavior. Purely a performance signal: every route
+/// computes the bitwise-identical plan (the differential suite proves it).
+enum class GraphChange : std::uint8_t {
+  kUnknown,
+  kSame,        ///< G_r operator== G_{r-1}.
+  kSmallDelta,  ///< G_r differs from G_{r-1} on few nodes (engine cap n/4).
+  kFullChurn,   ///< G_r is essentially unrelated to G_{r-1}.
+};
+
 struct ReuseHints {
   bool valid = false;
   /// Whether the packets carry 1-neighborhood information (part of the
@@ -27,6 +44,7 @@ struct ReuseHints {
   bool neighborhood = false;
   std::uint64_t graph_fp = 0;    ///< Graph::fingerprint() of the round graph.
   std::uint64_t conf_digest = 0; ///< XOR digest of alive (robot, node) pairs.
+  GraphChange change = GraphChange::kUnknown;  ///< Graph-vs-last-round signal.
 };
 
 }  // namespace dyndisp

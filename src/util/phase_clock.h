@@ -1,0 +1,36 @@
+// Monotonic nanosecond clock for OBSERVABILITY-ONLY phase timing.
+//
+// The engine's round loop attributes wall time to per-phase buckets
+// (RoundLoopStats::phase_*_ms) so the roundtime bench can say where a
+// mega-scale round actually goes. Timing never feeds a decision: every
+// value lands in DYNDISP_STATS fields, which the digest-exclusion lint
+// rule keeps out of run digests and campaign records, so two runs with
+// different timings still compare bitwise equal.
+//
+// This header is the ONE sanctioned wall-clock read outside bench/; all
+// phase instrumentation funnels through it so the determinism-wallclock
+// audit stays a single suppression.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dyndisp {
+
+/// Monotonic timestamp in nanoseconds since an arbitrary epoch. Subtract
+/// two reads for a duration; never persist or compare across processes.
+inline std::uint64_t phase_clock_ns() {
+  // NOLINTNEXTLINE-dyndisp(determinism-wallclock): observability-only
+  // phase buckets; values land in DYNDISP_STATS fields that digests and
+  // campaign records exclude, so timing can never alter a compared output.
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+/// Nanoseconds-to-milliseconds for bucket accumulation.
+inline double phase_ns_to_ms(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+}  // namespace dyndisp

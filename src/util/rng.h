@@ -54,4 +54,36 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Stateless counter-based generator: draw `i` of the stream keyed by
+/// (seed, stream) is a pure function of (seed, stream, i) -- a splitmix64
+/// finalizer over key + i*golden -- so disjoint index ranges can be
+/// evaluated concurrently, or in any order, with bitwise-identical results.
+/// This is what lets the graph builders run edge generation and port
+/// assignment through parallel_for while keeping the emitted graph
+/// byte-identical at any thread count (the adversary conformance suite
+/// pins exactly that property).
+class CounterRng {
+ public:
+  CounterRng(std::uint64_t seed, std::uint64_t stream);
+
+  /// Raw 64-bit draw at index `i`.
+  std::uint64_t at(std::uint64_t i) const;
+
+  /// Integer in [0, bound) from draw `i`, via the fixed-point multiply map
+  /// (at(i) * bound) >> 64. Unlike Rng::below's rejection loop this
+  /// consumes exactly one indexed draw -- a counter stream cannot retry
+  /// without losing its index structure -- at the price of a bias below
+  /// bound/2^64, negligible for every bound this library draws.
+  std::uint64_t below(std::uint64_t bound, std::uint64_t i) const;
+
+  /// Derives the stream for sub-entity `sub` (per-node port streams and the
+  /// like); forks of distinct subs are independent of each other and of the
+  /// parent's own draws.
+  CounterRng fork(std::uint64_t sub) const;
+
+ private:
+  explicit CounterRng(std::uint64_t key) : key_(key) {}
+  std::uint64_t key_;
+};
+
 }  // namespace dyndisp

@@ -23,6 +23,7 @@
 #include "dynamic/validator.h"
 #include "robots/placement.h"
 #include "sim/engine.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace dyndisp {
@@ -167,6 +168,62 @@ TEST(SameAsLast, ScriptedHonorsRepeatedLinesAndHorizon) {
   // Past the horizon the script repeats its last graph forever -- even when
   // the engine skipped the intermediate calls (stale last_idx_).
   EXPECT_TRUE(adv.same_as_last(1000, conf));
+}
+
+// Pins the set_thread_pool()/next_graph_into() contract for every
+// registered adversary: the emitted graph sequence must be byte-identical
+// (operator== compares full port-labeled adjacency) across
+//  - the legacy next_graph() path with no pool,
+//  - next_graph_into() with no pool, and
+//  - next_graph_into() with a multi-lane ThreadPool attached,
+// at sizes straddling both the adversaries' counter-builder cutoff
+// (kCounterBuilderMinNodes = 128) and parallel_for's serial cutoff (192):
+// n=96 exercises the legacy small-n generators, n=150 the counter path run
+// serially even under a pool, n=400 the genuinely fanned-out path. Every
+// emission is also structurally validated -- the small-n EveryEmittedGraphIsValid
+// sweep never reaches the counter builders.
+TEST_P(AdversaryConformance, SerialAndParallelEmissionsAreByteIdentical) {
+  const auto& registry = campaign::Registry::instance();
+  const std::string& name = GetParam();
+
+  for (const std::size_t requested : {96u, 150u, 400u}) {
+    const std::uint64_t seed = 21 + requested;
+    auto legacy = registry.adversary(name, "random", requested, seed);
+    auto serial = registry.adversary(name, "random", requested, seed);
+    auto threaded = registry.adversary(name, "random", requested, seed);
+    const std::size_t n = legacy->node_count();
+    const std::size_t k = std::max<std::size_t>(2, n / 2);
+    Rng rng(seed * 13 + 1);
+    const Configuration conf = placement::uniform_random(n, k, rng);
+    ThreadPool pool(3);
+    threaded->set_thread_pool(&pool);
+    for (Adversary* adv : {legacy.get(), serial.get(), threaded.get()}) {
+      if (adv->wants_plan_probe()) {
+        adv->set_plan_probe(
+            [k](const Graph&) { return MovePlan(k, kInvalidPort); });
+      }
+    }
+
+    Graph from_serial, from_pool;
+    for (Round r = 0; r < 8; ++r) {
+      const Graph reference = legacy->next_graph(r, conf);
+      serial->next_graph_into(r, conf, from_serial);
+      threaded->next_graph_into(r, conf, from_pool);
+      ASSERT_EQ(reference.fingerprint(), from_serial.fingerprint())
+          << name << " n=" << n << " round " << r << ": next_graph_into"
+          << " diverged from next_graph";
+      ASSERT_TRUE(reference == from_serial)
+          << name << " n=" << n << " round " << r;
+      ASSERT_EQ(reference.fingerprint(), from_pool.fingerprint())
+          << name << " n=" << n << " round " << r << ": pooled emission"
+          << " diverged from serial";
+      ASSERT_TRUE(reference == from_pool)
+          << name << " n=" << n << " round " << r;
+      const std::string diag = validate_round_graph(from_pool, n);
+      ASSERT_TRUE(diag.empty())
+          << name << " n=" << n << " round " << r << ": " << diag;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
